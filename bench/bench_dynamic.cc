@@ -1,0 +1,118 @@
+/// B8 -- Index maintenance under graph churn.
+///
+/// The paper motivates itself with social graphs "in constant evolution",
+/// but its index is a batch-built snapshot. This bench quantifies the
+/// resulting trade-off: with a mutation every k queries, the join-index
+/// pipeline pays a full rebuild per mutation while online search only
+/// refreshes the CSR snapshot. The crossover -- how many queries per
+/// mutation the index needs before it wins -- is the number a deployment
+/// would actually size against.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "query/join_evaluator.h"
+#include "query/online_evaluator.h"
+
+namespace sargus {
+namespace bench {
+namespace {
+
+constexpr const char* kQ1 = "friend[1,2]/colleague[1]";
+constexpr size_t kNodes = 4000;
+
+/// Removes and re-adds one existing edge: a minimal structural mutation
+/// that invalidates every snapshot index.
+void MutateOneEdge(SocialGraph& g, Rng& rng) {
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    EdgeId e = static_cast<EdgeId>(rng.NextBounded(g.EdgeSlotCount()));
+    if (!g.IsLiveEdge(e)) continue;
+    Edge rec = g.edge(e);
+    if (!g.RemoveEdge(e).ok()) continue;
+    (void)g.AddEdge(rec.src, rec.dst, rec.label);
+    return;
+  }
+}
+
+void BM_ChurnJoinIndex(benchmark::State& state) {
+  const size_t queries_per_mutation = static_cast<size_t>(state.range(0));
+  SocialGraph g = MakeGraph(GraphKind::kBarabasiAlbert, kNodes, 3, 42);
+  auto parsed = ParsePathExpression(kQ1);
+  auto expr = BoundPathExpression::Bind(*parsed, g);
+  Rng rng(7);
+
+  // Full pipeline, rebuilt on every mutation.
+  auto rebuild = [&g]() {
+    struct Stack {
+      CsrSnapshot csr;
+      LineGraph lg;
+      std::unique_ptr<LineReachabilityOracle> oracle;
+      std::unique_ptr<ClusterJoinIndex> cidx;
+      BaseTables tables;
+    };
+    auto s = std::make_unique<Stack>();
+    s->csr = CsrSnapshot::Build(g);
+    s->lg = LineGraph::Build(s->csr);
+    auto oracle = LineReachabilityOracle::Build(s->lg);
+    s->oracle = std::make_unique<LineReachabilityOracle>(
+        std::move(oracle).ValueOrDie());
+    auto cidx = ClusterJoinIndex::Build(s->lg, *s->oracle);
+    s->cidx = std::make_unique<ClusterJoinIndex>(std::move(cidx).ValueOrDie());
+    s->tables = BaseTables::Build(s->lg);
+    return s;
+  };
+  auto stack = rebuild();
+  size_t i = 0;
+  size_t rebuilds = 0;
+  for (auto _ : state) {
+    if (i % queries_per_mutation == 0 && i > 0) {
+      MutateOneEdge(g, rng);
+      stack = rebuild();
+      ++rebuilds;
+    }
+    ++i;
+    JoinIndexEvaluator eval(g, stack->lg, *stack->oracle, *stack->cidx,
+                            stack->tables, JoinIndexOptions{});
+    NodeId src = static_cast<NodeId>(rng.NextBounded(kNodes));
+    NodeId dst = static_cast<NodeId>(rng.NextBounded(kNodes));
+    ReachQuery q{src, dst, &*expr, false};
+    auto r = eval.Evaluate(q);
+    benchmark::DoNotOptimize(r->granted);
+  }
+  state.counters["rebuilds"] = static_cast<double>(rebuilds);
+  state.SetLabel("1 mutation per " + std::to_string(queries_per_mutation) +
+                 " queries [join]");
+}
+BENCHMARK(BM_ChurnJoinIndex)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ChurnOnline(benchmark::State& state) {
+  const size_t queries_per_mutation = static_cast<size_t>(state.range(0));
+  SocialGraph g = MakeGraph(GraphKind::kBarabasiAlbert, kNodes, 3, 42);
+  auto parsed = ParsePathExpression(kQ1);
+  auto expr = BoundPathExpression::Bind(*parsed, g);
+  Rng rng(7);
+  auto csr = std::make_unique<CsrSnapshot>(CsrSnapshot::Build(g));
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i % queries_per_mutation == 0 && i > 0) {
+      MutateOneEdge(g, rng);
+      csr = std::make_unique<CsrSnapshot>(CsrSnapshot::Build(g));
+    }
+    ++i;
+    OnlineEvaluator eval(g, *csr, TraversalOrder::kBfs);
+    NodeId src = static_cast<NodeId>(rng.NextBounded(kNodes));
+    NodeId dst = static_cast<NodeId>(rng.NextBounded(kNodes));
+    ReachQuery q{src, dst, &*expr, false};
+    auto r = eval.Evaluate(q);
+    benchmark::DoNotOptimize(r->granted);
+  }
+  state.SetLabel("1 mutation per " + std::to_string(queries_per_mutation) +
+                 " queries [online]");
+}
+BENCHMARK(BM_ChurnOnline)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace bench
+}  // namespace sargus
+
+BENCHMARK_MAIN();
