@@ -1,0 +1,166 @@
+#ifndef SARGUS_COMMON_RESULT_H_
+#define SARGUS_COMMON_RESULT_H_
+
+/// \file result.h
+/// \brief `Result<T>`: a value or a non-OK Status.
+///
+/// The sargus builder convention: anything that can fail returns
+/// `Result<T>`. Callers either branch on `ok()` and read `status()`, or —
+/// in contexts where failure is a programming error (benches, tests) —
+/// call `ValueOrDie()`. `operator*` / `operator->` are unchecked-in-release
+/// accessors for the hot path after an `ok()` check.
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sargus {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  static_assert(!std::is_same_v<T, Status>, "Result<Status> is meaningless");
+
+  /// Implicit from a value (success).
+  Result(T value) : has_value_(true) {  // NOLINT(google-explicit-constructor)
+    new (&storage_) T(std::move(value));
+  }
+
+  /// Implicit from a non-OK status (failure). Passing an OK status is a
+  /// bug: there would be no value to return.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : has_value_(false) {
+    if (status.ok()) {
+      std::fprintf(stderr,
+                   "sargus: Result<T> constructed from OK status\n");
+      std::abort();
+    }
+    new (&status_) Status(std::move(status));
+  }
+
+  Result(const Result& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_) T(other.value_ref());
+    } else {
+      new (&status_) Status(other.status_ref());
+    }
+  }
+
+  Result(Result&& other) noexcept : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_) T(std::move(other.value_ref()));
+    } else {
+      new (&status_) Status(std::move(other.status_ref()));
+    }
+  }
+
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&storage_) T(other.value_ref());
+      } else {
+        new (&status_) Status(other.status_ref());
+      }
+    }
+    return *this;
+  }
+
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&storage_) T(std::move(other.value_ref()));
+      } else {
+        new (&status_) Status(std::move(other.status_ref()));
+      }
+    }
+    return *this;
+  }
+
+  ~Result() { Destroy(); }
+
+  bool ok() const { return has_value_; }
+
+  /// OK when holding a value, the error otherwise.
+  Status status() const {
+    return has_value_ ? OkStatus() : status_ref();
+  }
+
+  /// Aborts (with the error printed) when holding a status.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return value_ref();
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return value_ref();
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(value_ref());
+  }
+
+  /// Unchecked access; call only after verifying ok().
+  const T& operator*() const& { return value_ref(); }
+  T& operator*() & { return value_ref(); }
+  T&& operator*() && { return std::move(value_ref()); }
+  const T* operator->() const { return &value_ref(); }
+  T* operator->() { return &value_ref(); }
+
+ private:
+  void Destroy() {
+    if (has_value_) {
+      value_ref().~T();
+    } else {
+      status_ref().~Status();
+    }
+  }
+
+  void DieIfError() const {
+    if (!has_value_) {
+      std::fprintf(stderr, "sargus: ValueOrDie on error: %s\n",
+                   status_ref().ToString().c_str());
+      std::abort();
+    }
+  }
+
+  T& value_ref() { return *std::launder(reinterpret_cast<T*>(&storage_)); }
+  const T& value_ref() const {
+    return *std::launder(reinterpret_cast<const T*>(&storage_));
+  }
+  Status& status_ref() {
+    return *std::launder(reinterpret_cast<Status*>(&status_));
+  }
+  const Status& status_ref() const {
+    return *std::launder(reinterpret_cast<const Status*>(&status_));
+  }
+
+  union {
+    alignas(T) unsigned char storage_[sizeof(T)];
+    alignas(Status) unsigned char status_[sizeof(Status)];
+  };
+  bool has_value_;
+};
+
+/// Propagates the error of a Result expression, else binds its value.
+/// Usage: SARGUS_ASSIGN_OR_RETURN(auto x, MakeX());
+#define SARGUS_ASSIGN_OR_RETURN(decl, expr)                    \
+  SARGUS_ASSIGN_OR_RETURN_IMPL_(                               \
+      SARGUS_RESULT_CONCAT_(_sargus_res_, __LINE__), decl, expr)
+#define SARGUS_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  decl = std::move(*tmp)
+#define SARGUS_RESULT_CONCAT_(a, b) SARGUS_RESULT_CONCAT_IMPL_(a, b)
+#define SARGUS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sargus
+
+#endif  // SARGUS_COMMON_RESULT_H_

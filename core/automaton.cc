@@ -1,0 +1,82 @@
+#include "core/automaton.h"
+
+#include <algorithm>
+
+namespace sargus {
+
+HopAutomaton::HopAutomaton(const BoundPathExpression& expr) : expr_(&expr) {
+  const auto& steps = expr.steps();
+  // One state per (step i, hops h) with 0 <= h < max_i: "h hops of step i
+  // consumed, ready to consume another".
+  step_offsets_.resize(steps.size() + 1, 0);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    step_offsets_[i + 1] = step_offsets_[i] + steps[i].max_hops;
+  }
+  states_.resize(step_offsets_.back());
+  for (uint32_t i = 0; i < steps.size(); ++i) {
+    for (uint32_t h = 0; h < steps[i].max_hops; ++h) {
+      State& s = states_[StateId(i, h)];
+      s.step = i;
+      s.hops = h;
+    }
+  }
+
+  // Edge transitions: from (i, h), consuming an edge lands in the closure
+  // of (i, h+1).
+  for (uint32_t i = 0; i < steps.size(); ++i) {
+    for (uint32_t h = 0; h < steps[i].max_hops; ++h) {
+      State& s = states_[StateId(i, h)];
+      s.accepts_after_edge = Closure(i, h + 1, &s.edge_targets);
+      std::sort(s.edge_targets.begin(), s.edge_targets.end());
+      s.edge_targets.erase(
+          std::unique(s.edge_targets.begin(), s.edge_targets.end()),
+          s.edge_targets.end());
+    }
+  }
+
+  // Reverse transitions.
+  for (uint32_t s = 0; s < states_.size(); ++s) {
+    for (uint32_t t : states_[s].edge_targets) {
+      states_[t].edge_sources.push_back(s);
+    }
+    if (states_[s].accepts_after_edge) accepting_edge_states_.push_back(s);
+  }
+
+  if (!steps.empty()) {
+    accepts_empty_ = Closure(0, 0, &start_states_);
+    std::sort(start_states_.begin(), start_states_.end());
+    start_states_.erase(
+        std::unique(start_states_.begin(), start_states_.end()),
+        start_states_.end());
+  } else {
+    accepts_empty_ = true;
+  }
+}
+
+bool HopAutomaton::Closure(uint32_t step, uint32_t hops,
+                           std::vector<uint32_t>* out) const {
+  const auto& steps = expr_->steps();
+  bool accepts = false;
+  // Walk forward through steps whose minimum is already satisfied. Each
+  // iteration either records a real state, steps to the next step, or
+  // reaches accept; advancing resets the hop counter, so this terminates
+  // after at most |steps| iterations.
+  uint32_t i = step;
+  uint32_t h = hops;
+  for (;;) {
+    if (i == steps.size()) {
+      accepts = true;
+      break;
+    }
+    if (h < steps[i].max_hops) out->push_back(StateId(i, h));
+    if (h >= steps[i].min_hops) {
+      ++i;
+      h = 0;
+      continue;
+    }
+    break;
+  }
+  return accepts;
+}
+
+}  // namespace sargus

@@ -1,0 +1,112 @@
+#ifndef SARGUS_CORE_AUTOMATON_H_
+#define SARGUS_CORE_AUTOMATON_H_
+
+/// \file automaton.h
+/// \brief HopAutomaton: a bound path expression compiled to an NFA whose
+/// states are (step, hops-consumed-in-step) pairs.
+///
+/// This is why online search absorbs wide hop ranges *linearly* while the
+/// join pipeline expands them multiplicatively: `friend[1,8]` is eight
+/// automaton states, not eight concrete label sequences. The traversal
+/// evaluators explore the product space (graph node × automaton state).
+///
+/// Transition model: state s = (i, h) consumes one edge matching step i's
+/// (label, orientation, filter) and lands in the epsilon-closure of
+/// (i, h+1); the closure advances through any step whose minimum is
+/// already met, possibly reaching the accept sink. All closures are
+/// precomputed, so walkers only index arrays.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/path_expression.h"
+
+namespace sargus {
+
+/// Dense index of a (graph node, automaton state) configuration — the
+/// cell every product-space walker (online, bidirectional, audience
+/// collection) uses for its visited arrays.
+inline size_t ProductConfigId(NodeId node, uint32_t state,
+                              uint32_t num_states) {
+  return static_cast<size_t>(node) * num_states + state;
+}
+
+class HopAutomaton {
+ public:
+  /// Compiles `expr` (which must stay alive as long as the automaton).
+  explicit HopAutomaton(const BoundPathExpression& expr);
+
+  /// Number of real (non-accept) states.
+  uint32_t NumStates() const { return static_cast<uint32_t>(states_.size()); }
+
+  /// Step index a state consumes edges for.
+  uint32_t StepOf(uint32_t state) const { return states_[state].step; }
+
+  const BoundStep& StepSpec(uint32_t state) const {
+    return expr_->steps()[states_[state].step];
+  }
+
+  /// States entered after consuming an edge from `state` (the closure of
+  /// the successor, accept excluded — see AcceptsAfterEdge).
+  const std::vector<uint32_t>& TargetsAfterEdge(uint32_t state) const {
+    return states_[state].edge_targets;
+  }
+
+  /// True when consuming an edge from `state` can finish the expression
+  /// (accept is in the successor closure). The node the edge enters is
+  /// then a match endpoint.
+  bool AcceptsAfterEdge(uint32_t state) const {
+    return states_[state].accepts_after_edge;
+  }
+
+  /// Reverse image of TargetsAfterEdge: states s with t ∈ Targets(s).
+  /// Used by the backward frontier of bidirectional search.
+  const std::vector<uint32_t>& SourcesIntoState(uint32_t t) const {
+    return states_[t].edge_sources;
+  }
+
+  /// States s such that consuming an edge from s can accept — the seeds
+  /// of a backward search (their step spec constrains the final hop).
+  const std::vector<uint32_t>& AcceptingEdgeStates() const {
+    return accepting_edge_states_;
+  }
+
+  /// Start states: the closure at (step 0, 0 hops).
+  const std::vector<uint32_t>& StartStates() const { return start_states_; }
+
+  /// True when the empty path (src == dst, zero hops) matches. Only
+  /// possible if every step had min 0, which the parser forbids; kept for
+  /// generality.
+  bool AcceptsEmpty() const { return accepts_empty_; }
+
+  const BoundPathExpression& expr() const { return *expr_; }
+
+ private:
+  struct State {
+    uint32_t step = 0;   // which step's edges this state consumes
+    uint32_t hops = 0;   // hops already consumed within that step
+    std::vector<uint32_t> edge_targets;
+    std::vector<uint32_t> edge_sources;
+    bool accepts_after_edge = false;
+  };
+
+  // Appends the epsilon-closure of (step, hops) to `out`; returns true if
+  // the closure contains accept.
+  bool Closure(uint32_t step, uint32_t hops, std::vector<uint32_t>* out) const;
+
+  uint32_t StateId(uint32_t step, uint32_t hops) const {
+    return step_offsets_[step] + hops;
+  }
+
+  const BoundPathExpression* expr_;
+  std::vector<State> states_;
+  std::vector<uint32_t> step_offsets_;
+  std::vector<uint32_t> start_states_;
+  std::vector<uint32_t> accepting_edge_states_;
+  bool accepts_empty_ = false;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_CORE_AUTOMATON_H_

@@ -1,0 +1,200 @@
+#include "core/path_parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace sargus {
+namespace {
+
+/// Hand-rolled recursive-descent parser over the input string. Keeps a
+/// cursor; every error message carries the cursor position.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<PathExpression> Parse() {
+    SkipSpace();
+    if (AtEnd()) {
+      return Status::InvalidArgument("empty path expression");
+    }
+    std::vector<PathStep> steps;
+    for (;;) {
+      auto step = ParseStep();
+      if (!step.ok()) return step.status();
+      steps.push_back(std::move(*step));
+      SkipSpace();
+      if (AtEnd()) break;
+      if (!Consume('/')) {
+        return Error("expected '/' between steps");
+      }
+    }
+    return PathExpression(std::move(steps));
+  }
+
+ private:
+  Result<PathStep> ParseStep() {
+    SkipSpace();
+    PathStep step;
+    auto label = ParseIdent("label");
+    if (!label.ok()) return label.status();
+    step.label = std::move(*label);
+    SkipSpace();
+    if (Consume('-')) step.backward = true;
+    SkipSpace();
+    if (!Consume('[')) {
+      return Error("expected '[' after label '" + step.label + "'");
+    }
+    auto lo = ParseInt("hop bound");
+    if (!lo.ok()) return lo.status();
+    SkipSpace();
+    int64_t hi_val = *lo;
+    if (Consume(',')) {
+      auto hi = ParseInt("hop bound");
+      if (!hi.ok()) return hi.status();
+      hi_val = *hi;
+      SkipSpace();
+    }
+    if (!Consume(']')) {
+      return Error("expected ']' closing hop bounds");
+    }
+    if (*lo < 1) {
+      return Error("hop bounds are 1-based; got [" + std::to_string(*lo) +
+                   ",...]");
+    }
+    if (hi_val < *lo) {
+      return Error("hop range [" + std::to_string(*lo) + "," +
+                   std::to_string(hi_val) + "] is empty");
+    }
+    if (hi_val > static_cast<int64_t>(kMaxHopBound)) {
+      return Error("hop bound " + std::to_string(hi_val) + " exceeds cap " +
+                   std::to_string(kMaxHopBound));
+    }
+    step.min_hops = static_cast<uint32_t>(*lo);
+    step.max_hops = static_cast<uint32_t>(hi_val);
+    SkipSpace();
+    if (Peek() == '{') {
+      auto st = ParseFilter(&step);
+      if (!st.ok()) return st;
+    }
+    return step;
+  }
+
+  Status ParseFilter(PathStep* step) {
+    Consume('{');
+    for (;;) {
+      SkipSpace();
+      AttrCondition cond;
+      auto attr = ParseIdent("attribute");
+      if (!attr.ok()) return attr.status();
+      cond.attr = std::move(*attr);
+      SkipSpace();
+      auto op = ParseOp();
+      if (!op.ok()) return op.status();
+      cond.op = *op;
+      auto value = ParseInt("comparison value");
+      if (!value.ok()) return value.status();
+      cond.value = *value;
+      step->conditions.push_back(std::move(cond));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return OkStatus();
+      return Error("expected ',' or '}' in filter");
+    }
+  }
+
+  Result<std::string> ParseIdent(const char* what) {
+    SkipSpace();
+    const size_t start = pos_;
+    if (!AtEnd() && (std::isalpha(Byte()) || Peek() == '_')) {
+      ++pos_;
+      while (!AtEnd() && (std::isalnum(Byte()) || Peek() == '_')) ++pos_;
+    }
+    if (pos_ == start) {
+      return Error(std::string("expected ") + what);
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<int64_t> ParseInt(const char* what) {
+    SkipSpace();
+    size_t start = pos_;
+    bool negative = false;
+    if (!AtEnd() && (Peek() == '-' || Peek() == '+')) {
+      negative = Peek() == '-';
+      ++pos_;
+    }
+    const size_t digits_start = pos_;
+    while (!AtEnd() && std::isdigit(Byte())) ++pos_;
+    if (pos_ == digits_start) {
+      pos_ = start;
+      return Error(std::string("expected integer ") + what);
+    }
+    // from_chars reports overflow instead of silently saturating.
+    int64_t value = 0;
+    const char* first = text_.data() + digits_start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range) {
+      return Error(std::string(what) + " out of 64-bit range");
+    }
+    if (ec != std::errc() || ptr != last) {
+      pos_ = start;
+      return Error(std::string("expected integer ") + what);
+    }
+    return negative ? -value : value;
+  }
+
+  Result<CmpOp> ParseOp() {
+    SkipSpace();
+    const char c = Peek();
+    const char c2 = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+    if (c == '<') {
+      pos_ += (c2 == '=') ? 2 : 1;
+      return c2 == '=' ? CmpOp::kLe : CmpOp::kLt;
+    }
+    if (c == '>') {
+      pos_ += (c2 == '=') ? 2 : 1;
+      return c2 == '=' ? CmpOp::kGe : CmpOp::kGt;
+    }
+    if (c == '=' && c2 == '=') {
+      pos_ += 2;
+      return CmpOp::kEq;
+    }
+    if (c == '!' && c2 == '=') {
+      pos_ += 2;
+      return CmpOp::kNe;
+    }
+    return Error("expected comparison operator");
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(Byte())) ++pos_;
+  }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  unsigned char Byte() const {
+    return static_cast<unsigned char>(text_[pos_]);
+  }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(std::string msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(pos_) + " in '" + text_ +
+                                   "'");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExpression> ParsePathExpression(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace sargus

@@ -1,0 +1,32 @@
+#ifndef SARGUS_CORE_PATH_PARSER_H_
+#define SARGUS_CORE_PATH_PARSER_H_
+
+/// \file path_parser.h
+/// \brief Parser for the paper's access-condition grammar.
+///
+///   expr   := step ('/' step)*
+///   step   := label '-'? '[' int (',' int)? ']' filter?
+///   filter := '{' cond (',' cond)* '}'
+///   cond   := attr op int                    op ∈ { < <= > >= == != }
+///   label  := [A-Za-z_][A-Za-z0-9_]*
+///
+/// Whitespace is permitted between tokens. Hop bounds are 1-based
+/// (`[0,...]` is rejected) and capped at kMaxHopBound to keep
+/// join-side expansion finite. All syntax errors return
+/// kInvalidArgument with the offending position in the message.
+
+#include <string>
+
+#include "common/result.h"
+#include "core/path_expression.h"
+
+namespace sargus {
+
+/// Largest accepted hop bound.
+inline constexpr uint32_t kMaxHopBound = 64;
+
+Result<PathExpression> ParsePathExpression(const std::string& text);
+
+}  // namespace sargus
+
+#endif  // SARGUS_CORE_PATH_PARSER_H_

@@ -1,0 +1,204 @@
+#include "engine/access_engine.h"
+
+#include <algorithm>
+
+#include "query/bidirectional.h"
+#include "query/closure_prefilter.h"
+#include "query/online_evaluator.h"
+
+namespace sargus {
+
+AccessControlEngine::AccessControlEngine(const SocialGraph& graph,
+                                         const PolicyStore& store,
+                                         EngineOptions options)
+    : graph_(&graph), store_(&store), options_(options) {}
+
+AccessControlEngine::~AccessControlEngine() = default;
+
+Status AccessControlEngine::RebuildIndexes() {
+  built_ = false;
+  bind_cache_.clear();
+  csr_ = CsrSnapshot::Build(*graph_);
+
+  // The join-index stack (line graph, oracle, cluster index, tables) is
+  // by far the heaviest build; skip it entirely for online-only
+  // configurations, which only need the CSR.
+  const bool need_join_stack =
+      options_.evaluator == EvaluatorChoice::kAuto ||
+      options_.evaluator == EvaluatorChoice::kJoinIndex;
+  if (need_join_stack) {
+    lg_ = LineGraph::Build(
+        csr_, {.include_backward = options_.line_graph_backward});
+    auto oracle = LineReachabilityOracle::Build(lg_);
+    if (!oracle.ok()) return oracle.status();
+    oracle_ = std::make_unique<LineReachabilityOracle>(std::move(*oracle));
+    auto cluster = ClusterJoinIndex::Build(lg_, *oracle_);
+    if (!cluster.ok()) return cluster.status();
+    cluster_ = std::make_unique<ClusterJoinIndex>(std::move(*cluster));
+    tables_ = BaseTables::Build(lg_);
+    join_ = std::make_unique<JoinIndexEvaluator>(
+        *graph_, lg_, *oracle_, *cluster_, tables_, options_.join_options);
+  } else {
+    join_.reset();
+    cluster_.reset();
+    oracle_.reset();
+    lg_ = LineGraph();
+    tables_ = BaseTables();
+  }
+  if (options_.use_closure_prefilter) {
+    // Undirected: sound for backward steps too (see closure_prefilter.h).
+    closure_ = std::make_unique<TransitiveClosure>(
+        TransitiveClosure::Build(csr_, /*as_undirected=*/true));
+  } else {
+    closure_.reset();
+  }
+
+  online_bfs_ = std::make_unique<OnlineEvaluator>(*graph_, csr_,
+                                                  TraversalOrder::kBfs);
+  online_dfs_ = std::make_unique<OnlineEvaluator>(*graph_, csr_,
+                                                  TraversalOrder::kDfs);
+  bidirectional_ = std::make_unique<BidirectionalEvaluator>(*graph_, csr_);
+  built_ = true;
+  return OkStatus();
+}
+
+const Evaluator* AccessControlEngine::PickEvaluator(
+    const BoundPathExpression& expr) const {
+  switch (options_.evaluator) {
+    case EvaluatorChoice::kOnlineBfs:
+      return online_bfs_.get();
+    case EvaluatorChoice::kOnlineDfs:
+      return online_dfs_.get();
+    case EvaluatorChoice::kBidirectional:
+      return bidirectional_.get();
+    case EvaluatorChoice::kJoinIndex:
+      return join_.get();
+    case EvaluatorChoice::kAuto:
+      break;
+  }
+  // kAuto: the join index wins on point queries unless the expression
+  // expands combinatorially or needs an orientation the line graph lacks.
+  if (expr.HasBackwardStep() && !lg_.includes_backward()) {
+    return online_bfs_.get();
+  }
+  if (expr.ExpansionCount() > options_.auto_max_expansions) {
+    return online_bfs_.get();
+  }
+  return join_.get();
+}
+
+Result<const BoundPathExpression*> AccessControlEngine::BindCached(
+    const PathExpression& expr) {
+  std::string key = expr.ToString();
+  auto it = bind_cache_.find(key);
+  if (it != bind_cache_.end()) return it->second.get();
+  auto bound = BoundPathExpression::Bind(expr, *graph_);
+  if (!bound.ok()) return bound.status();
+  auto inserted = bind_cache_.emplace(
+      std::move(key),
+      std::make_unique<BoundPathExpression>(std::move(*bound)));
+  return inserted.first->second.get();
+}
+
+Result<AccessDecision> AccessControlEngine::CheckAccess(NodeId requester,
+                                                        ResourceId resource) {
+  if (!store_->HasResource(resource)) {
+    return Status::NotFound("CheckAccess: unknown resource id " +
+                            std::to_string(resource));
+  }
+  if (requester >= graph_->NumNodes()) {
+    return Status::InvalidArgument("CheckAccess: requester out of range");
+  }
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "CheckAccess: call RebuildIndexes() first");
+  }
+
+  const PolicyStore::Resource& res = store_->resource(resource);
+  AccessDecision decision;
+  decision.requester = requester;
+  decision.resource = resource;
+
+  if (res.owner == requester) {
+    decision.granted = true;
+    decision.owner_access = true;
+    decision.evaluator_name = "owner";
+  } else {
+    // A rule set is a disjunction: one expression failing to evaluate
+    // (unsupported orientation, work cap) must not mask a grant another
+    // expression would produce. Errors are remembered and only surface
+    // when nothing granted.
+    std::optional<Status> first_error;
+    for (const RuleId rule_id : res.rules) {
+      const PolicyStore::Rule& rule = store_->rule(rule_id);
+      for (const PathExpression& path : rule.paths) {
+        auto bound = BindCached(path);
+        if (!bound.ok()) {
+          if (!first_error) first_error = bound.status();
+          continue;
+        }
+        const Evaluator* eval = PickEvaluator(**bound);
+        std::optional<ClosurePrefilterEvaluator> prefiltered;
+        const Evaluator* chosen = eval;
+        if (closure_ != nullptr) {
+          prefiltered.emplace(*closure_, *eval);
+          chosen = &*prefiltered;
+        }
+
+        ReachQuery q{res.owner, requester, *bound, options_.want_witness};
+        auto r = chosen->Evaluate(q);
+        if (!r.ok()) {
+          if (!first_error) first_error = r.status();
+          continue;
+        }
+        decision.stats.pairs_visited += r->stats.pairs_visited;
+        decision.stats.tuples_generated += r->stats.tuples_generated;
+        decision.stats.tuples_post_filtered += r->stats.tuples_post_filtered;
+        decision.stats.line_queries += r->stats.line_queries;
+        decision.stats.prefilter_rejections += r->stats.prefilter_rejections;
+        if (r->granted) {
+          decision.granted = true;
+          decision.matched_rule = rule_id;
+          decision.witness = std::move(r->witness);
+          decision.evaluator_name = chosen->name();
+          break;
+        }
+        decision.evaluator_name = chosen->name();
+      }
+      if (decision.granted) break;
+    }
+    // Nothing granted and at least one expression could not be
+    // evaluated: stay loud about the misconfiguration rather than
+    // reporting a confident deny.
+    if (!decision.granted && first_error.has_value()) {
+      return *first_error;
+    }
+  }
+
+  // Audit ring.
+  if (options_.audit_capacity > 0) {
+    if (audit_.size() < options_.audit_capacity) {
+      audit_.push_back(decision);
+    } else {
+      audit_[audit_next_] = decision;
+      audit_wrapped_ = true;
+    }
+    audit_next_ = (audit_next_ + 1) % options_.audit_capacity;
+  }
+  return decision;
+}
+
+std::vector<AccessDecision> AccessControlEngine::AuditTrail() const {
+  std::vector<AccessDecision> out;
+  if (!audit_wrapped_) {
+    out = audit_;
+  } else {
+    out.reserve(audit_.size());
+    for (size_t i = 0; i < audit_.size(); ++i) {
+      out.push_back(audit_[(audit_next_ + i) % audit_.size()]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sargus

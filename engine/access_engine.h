@@ -1,0 +1,140 @@
+#ifndef SARGUS_ENGINE_ACCESS_ENGINE_H_
+#define SARGUS_ENGINE_ACCESS_ENGINE_H_
+
+/// \file access_engine.h
+/// \brief AccessControlEngine: the end-to-end facade.
+///
+/// Wires a SocialGraph and a PolicyStore to the full index + evaluator
+/// stack: CheckAccess(requester, resource) looks up the resource, binds
+/// each rule expression (cached), dispatches to the configured evaluator,
+/// optionally wraps it in the closure prefilter, and records the decision
+/// in a bounded audit ring.
+///
+/// Lifecycle: construct, RebuildIndexes(), serve CheckAccess. After any
+/// graph mutation call RebuildIndexes() again — every index is a snapshot
+/// (the cost model bench_dynamic.cc measures). kOnlineBfs/kOnlineDfs/
+/// kBidirectional only need the CSR; kJoinIndex needs the whole stack and
+/// fails with kFailedPrecondition if it is missing.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/policy.h"
+#include "graph/csr.h"
+#include "graph/line_graph.h"
+#include "index/base_tables.h"
+#include "index/cluster_index.h"
+#include "index/line_oracle.h"
+#include "index/transitive_closure.h"
+#include "query/evaluator.h"
+#include "query/join_evaluator.h"
+
+namespace sargus {
+
+enum class EvaluatorChoice {
+  /// Join index when built and the expression expands modestly; online
+  /// BFS otherwise. The paper's deployment advice, codified.
+  kAuto,
+  kOnlineBfs,
+  kOnlineDfs,
+  kBidirectional,
+  kJoinIndex,
+};
+
+struct EngineOptions {
+  EvaluatorChoice evaluator = EvaluatorChoice::kAuto;
+  /// Build an (undirected) transitive closure and use it as a fast-deny
+  /// prefilter in front of the chosen evaluator.
+  bool use_closure_prefilter = false;
+  /// Ask evaluators for witness paths on grants.
+  bool want_witness = false;
+  /// Build the line graph with backward orientations (required when any
+  /// policy uses `label-[a,b]` steps and the join index may serve it).
+  bool line_graph_backward = false;
+  /// kAuto sends expressions expanding beyond this many line queries to
+  /// online search instead of the join index.
+  uint64_t auto_max_expansions = 64;
+  JoinIndexOptions join_options;
+  /// Decisions kept in the audit ring.
+  size_t audit_capacity = 1024;
+};
+
+struct AccessDecision {
+  bool granted = false;
+  NodeId requester = 0;
+  ResourceId resource = 0;
+  /// Rule that granted access (unset on denies and owner grants).
+  std::optional<RuleId> matched_rule;
+  /// True when requester == owner (always granted, no rule consulted).
+  bool owner_access = false;
+  /// Evaluator work, summed over all expressions tried.
+  EvalStats stats;
+  /// Witness path for the matched expression (when requested).
+  std::vector<NodeId> witness;
+  /// name() of the evaluator that produced the final verdict.
+  std::string_view evaluator_name;
+};
+
+class AccessControlEngine {
+ public:
+  /// `graph` and `store` must outlive the engine. The engine never
+  /// mutates either.
+  AccessControlEngine(const SocialGraph& graph, const PolicyStore& store,
+                      EngineOptions options = {});
+  ~AccessControlEngine();
+
+  AccessControlEngine(const AccessControlEngine&) = delete;
+  AccessControlEngine& operator=(const AccessControlEngine&) = delete;
+
+  /// (Re)builds every snapshot index the configuration needs. Call after
+  /// construction and after any graph mutation.
+  Status RebuildIndexes();
+
+  /// Decides whether `requester` may access `resource`.
+  Result<AccessDecision> CheckAccess(NodeId requester, ResourceId resource);
+
+  /// Most recent decisions, oldest first (bounded by audit_capacity).
+  std::vector<AccessDecision> AuditTrail() const;
+
+  bool indexes_built() const { return built_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const Evaluator* PickEvaluator(const BoundPathExpression& expr) const;
+  Result<const BoundPathExpression*> BindCached(const PathExpression& expr);
+
+  const SocialGraph* graph_;
+  const PolicyStore* store_;
+  EngineOptions options_;
+
+  bool built_ = false;
+  CsrSnapshot csr_;
+  LineGraph lg_;
+  std::unique_ptr<LineReachabilityOracle> oracle_;
+  std::unique_ptr<ClusterJoinIndex> cluster_;
+  BaseTables tables_;
+  std::unique_ptr<TransitiveClosure> closure_;
+
+  std::unique_ptr<Evaluator> online_bfs_;
+  std::unique_ptr<Evaluator> online_dfs_;
+  std::unique_ptr<Evaluator> bidirectional_;
+  std::unique_ptr<Evaluator> join_;
+
+  // Bind cache keyed by canonical expression text. Entries are
+  // heap-allocated so cached pointers stay stable across inserts.
+  std::unordered_map<std::string, std::unique_ptr<BoundPathExpression>>
+      bind_cache_;
+
+  // Audit ring.
+  std::vector<AccessDecision> audit_;
+  size_t audit_next_ = 0;
+  bool audit_wrapped_ = false;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_ENGINE_ACCESS_ENGINE_H_

@@ -1,0 +1,36 @@
+#include "engine/policy.h"
+
+#include "core/path_parser.h"
+
+namespace sargus {
+
+ResourceId PolicyStore::RegisterResource(NodeId owner, std::string name) {
+  const ResourceId id = static_cast<ResourceId>(resources_.size());
+  resources_.push_back(Resource{owner, std::move(name), {}});
+  return id;
+}
+
+Result<RuleId> PolicyStore::AddRuleFromPaths(
+    ResourceId resource, const std::vector<std::string>& paths) {
+  if (!HasResource(resource)) {
+    return Status::NotFound("AddRuleFromPaths: unknown resource id " +
+                            std::to_string(resource));
+  }
+  if (paths.empty()) {
+    return Status::InvalidArgument(
+        "AddRuleFromPaths: a rule needs at least one path expression");
+  }
+  Rule rule;
+  rule.resource = resource;
+  for (const std::string& text : paths) {
+    auto parsed = ParsePathExpression(text);
+    if (!parsed.ok()) return parsed.status();
+    rule.paths.push_back(std::move(*parsed));
+  }
+  const RuleId id = static_cast<RuleId>(rules_.size());
+  rules_.push_back(std::move(rule));
+  resources_[resource].rules.push_back(id);
+  return id;
+}
+
+}  // namespace sargus

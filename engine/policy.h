@@ -1,0 +1,61 @@
+#ifndef SARGUS_ENGINE_POLICY_H_
+#define SARGUS_ENGINE_POLICY_H_
+
+/// \file policy.h
+/// \brief PolicyStore: resources, ownership, and access rules.
+///
+/// A resource belongs to one owner node. Each rule on a resource is a
+/// *disjunction* of path expressions: access is granted when any of the
+/// resource's rules has any expression matched by a path from the owner
+/// to the requester. A resource with no rules is owner-only
+/// (default-deny).
+///
+/// The store is graph-independent — expressions are parsed (so syntax
+/// errors surface at rule-authoring time) but bound to a concrete graph
+/// lazily by the AccessControlEngine.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/path_expression.h"
+
+namespace sargus {
+
+class PolicyStore {
+ public:
+  struct Resource {
+    NodeId owner = 0;
+    std::string name;
+    std::vector<RuleId> rules;
+  };
+
+  struct Rule {
+    ResourceId resource = 0;
+    std::vector<PathExpression> paths;
+  };
+
+  /// Registers a resource owned by `owner` and returns its id.
+  ResourceId RegisterResource(NodeId owner, std::string name);
+
+  /// Parses each path expression and attaches the rule to `resource`.
+  /// kNotFound for an unknown resource, kInvalidArgument for an empty
+  /// path list or any syntax error (no partial rule is stored).
+  Result<RuleId> AddRuleFromPaths(ResourceId resource,
+                                  const std::vector<std::string>& paths);
+
+  bool HasResource(ResourceId id) const { return id < resources_.size(); }
+  const Resource& resource(ResourceId id) const { return resources_[id]; }
+  const Rule& rule(RuleId id) const { return rules_[id]; }
+  size_t NumResources() const { return resources_.size(); }
+  size_t NumRules() const { return rules_.size(); }
+
+ private:
+  std::vector<Resource> resources_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_ENGINE_POLICY_H_

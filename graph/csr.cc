@@ -1,0 +1,64 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace sargus {
+
+CsrSnapshot CsrSnapshot::Build(const SocialGraph& g) {
+  CsrSnapshot snap;
+  const size_t n = g.NumNodes();
+  snap.num_nodes_ = n;
+  snap.out_offsets_.assign(n + 1, 0);
+  snap.in_offsets_.assign(n + 1, 0);
+
+  // Counting pass.
+  for (EdgeId e = 0; e < g.EdgeSlotCount(); ++e) {
+    if (!g.IsLiveEdge(e)) continue;
+    const Edge& rec = g.edge(e);
+    ++snap.out_offsets_[rec.src + 1];
+    ++snap.in_offsets_[rec.dst + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    snap.out_offsets_[v + 1] += snap.out_offsets_[v];
+    snap.in_offsets_[v + 1] += snap.in_offsets_[v];
+  }
+
+  // Fill pass (cursor copies of the offsets).
+  snap.out_entries_.resize(g.NumEdges());
+  snap.in_entries_.resize(g.NumEdges());
+  std::vector<uint32_t> out_cursor(snap.out_offsets_.begin(),
+                                   snap.out_offsets_.end() - 1);
+  std::vector<uint32_t> in_cursor(snap.in_offsets_.begin(),
+                                  snap.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.EdgeSlotCount(); ++e) {
+    if (!g.IsLiveEdge(e)) continue;
+    const Edge& rec = g.edge(e);
+    snap.out_entries_[out_cursor[rec.src]++] = {rec.dst, rec.label, e};
+    snap.in_entries_[in_cursor[rec.dst]++] = {rec.src, rec.label, e};
+  }
+
+  // Sort each node's range by label (then endpoint for determinism).
+  auto by_label = [](const Entry& a, const Entry& b) {
+    return a.label != b.label ? a.label < b.label : a.other < b.other;
+  };
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(snap.out_entries_.begin() + snap.out_offsets_[v],
+              snap.out_entries_.begin() + snap.out_offsets_[v + 1], by_label);
+    std::sort(snap.in_entries_.begin() + snap.in_offsets_[v],
+              snap.in_entries_.begin() + snap.in_offsets_[v + 1], by_label);
+  }
+  return snap;
+}
+
+std::span<const CsrSnapshot::Entry> CsrSnapshot::LabelRange(
+    std::span<const Entry> all, LabelId label) {
+  auto lo = std::lower_bound(
+      all.begin(), all.end(), label,
+      [](const Entry& e, LabelId l) { return e.label < l; });
+  auto hi = std::upper_bound(
+      all.begin(), all.end(), label,
+      [](LabelId l, const Entry& e) { return l < e.label; });
+  return {lo, hi};
+}
+
+}  // namespace sargus

@@ -1,0 +1,80 @@
+#ifndef SARGUS_GRAPH_CSR_H_
+#define SARGUS_GRAPH_CSR_H_
+
+/// \file csr.h
+/// \brief CsrSnapshot: an immutable compressed-sparse-row view of a
+/// SocialGraph, in both directions.
+///
+/// This is the structure traversal-based evaluators run on. It is a value
+/// type: Build() walks the live edges once and the result never observes
+/// later mutations of the source graph. Out-entries of a node are sorted
+/// by label so per-label neighbor ranges can be scanned contiguously.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/social_graph.h"
+
+namespace sargus {
+
+class CsrSnapshot {
+ public:
+  /// One adjacency entry: the far endpoint plus the edge's label and slot.
+  struct Entry {
+    NodeId other = 0;
+    LabelId label = kInvalidLabel;
+    EdgeId edge = 0;
+  };
+
+  CsrSnapshot() = default;
+
+  /// Snapshots the live edges of `g`.
+  static CsrSnapshot Build(const SocialGraph& g);
+
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumEdges() const { return out_entries_.size(); }
+
+  /// Outgoing entries of `node`, sorted by label.
+  std::span<const Entry> Out(NodeId node) const {
+    return {out_entries_.data() + out_offsets_[node],
+            out_offsets_[node + 1] - out_offsets_[node]};
+  }
+
+  /// Incoming entries of `node` (Entry::other is the source), sorted by
+  /// label.
+  std::span<const Entry> In(NodeId node) const {
+    return {in_entries_.data() + in_offsets_[node],
+            in_offsets_[node + 1] - in_offsets_[node]};
+  }
+
+  /// Outgoing entries of `node` restricted to `label` (binary search on
+  /// the label-sorted range).
+  std::span<const Entry> OutWithLabel(NodeId node, LabelId label) const {
+    return LabelRange(Out(node), label);
+  }
+  std::span<const Entry> InWithLabel(NodeId node, LabelId label) const {
+    return LabelRange(In(node), label);
+  }
+
+  size_t MemoryBytes() const {
+    return (out_offsets_.capacity() + in_offsets_.capacity()) *
+               sizeof(uint32_t) +
+           (out_entries_.capacity() + in_entries_.capacity()) * sizeof(Entry);
+  }
+
+ private:
+  static std::span<const Entry> LabelRange(std::span<const Entry> all,
+                                           LabelId label);
+
+  size_t num_nodes_ = 0;
+  std::vector<uint32_t> out_offsets_{0};
+  std::vector<Entry> out_entries_;
+  std::vector<uint32_t> in_offsets_{0};
+  std::vector<Entry> in_entries_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_GRAPH_CSR_H_

@@ -1,0 +1,120 @@
+#include "graph/social_graph.h"
+
+#include <limits>
+
+namespace sargus {
+
+namespace {
+constexpr int64_t kUnsetAttr = std::numeric_limits<int64_t>::min();
+}  // namespace
+
+uint16_t NameDictionary::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  // 0xFFFF is the invalid sentinel; refuse to mint it as a real id.
+  if (names_.size() >= 0xFFFF) return uint16_t{0xFFFF};
+  const uint16_t id = static_cast<uint16_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+uint16_t NameDictionary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? uint16_t{0xFFFF} : it->second;
+}
+
+const std::string& NameDictionary::ToString(uint16_t id) const {
+  return names_[id];
+}
+
+NodeId SocialGraph::AddNode() {
+  const NodeId id = static_cast<NodeId>(num_nodes_);
+  ++num_nodes_;
+  for (auto& col : attr_columns_) col.push_back(kUnsetAttr);
+  return id;
+}
+
+Status SocialGraph::SetAttribute(NodeId node, const std::string& name,
+                                 int64_t value) {
+  if (node >= num_nodes_) {
+    return Status::InvalidArgument("SetAttribute: node out of range");
+  }
+  if (value == kUnsetAttr) {
+    return Status::InvalidArgument("SetAttribute: INT64_MIN is reserved");
+  }
+  const AttrId attr = attrs_.Intern(name);
+  if (attr == kInvalidAttr) {
+    return Status::ResourceExhausted("SetAttribute: attribute dictionary full");
+  }
+  if (attr >= attr_columns_.size()) {
+    attr_columns_.resize(attr + 1,
+                         std::vector<int64_t>(num_nodes_, kUnsetAttr));
+  }
+  attr_columns_[attr][node] = value;
+  return OkStatus();
+}
+
+std::optional<int64_t> SocialGraph::GetAttribute(NodeId node,
+                                                 AttrId attr) const {
+  if (node >= num_nodes_ || attr >= attr_columns_.size()) return std::nullopt;
+  const int64_t v = attr_columns_[attr][node];
+  if (v == kUnsetAttr) return std::nullopt;
+  return v;
+}
+
+std::optional<int64_t> SocialGraph::GetAttribute(
+    NodeId node, const std::string& name) const {
+  const AttrId attr = attrs_.Lookup(name);
+  if (attr == kInvalidAttr) return std::nullopt;
+  return GetAttribute(node, attr);
+}
+
+Result<EdgeId> SocialGraph::AddEdge(NodeId src, NodeId dst,
+                                    const std::string& label) {
+  const LabelId id = labels_.Intern(label);
+  if (id == kInvalidLabel) {
+    return Status::ResourceExhausted("AddEdge: label dictionary full");
+  }
+  return AddEdge(src, dst, id);
+}
+
+Result<EdgeId> SocialGraph::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  if (src >= num_nodes_ || dst >= num_nodes_) {
+    return Status::InvalidArgument("AddEdge: endpoint out of range");
+  }
+  if (label >= labels_.size()) {
+    return Status::InvalidArgument("AddEdge: unknown label id");
+  }
+  const EdgeKey key{src, dst, label};
+  auto it = edge_lookup_.find(key);
+  if (it != edge_lookup_.end()) return it->second;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst, label});
+  live_.push_back(1);
+  ++num_live_edges_;
+  edge_lookup_.emplace(key, id);
+  return id;
+}
+
+Status SocialGraph::RemoveEdge(EdgeId edge) {
+  if (!IsLiveEdge(edge)) {
+    return Status::NotFound("RemoveEdge: no live edge in slot");
+  }
+  const Edge& rec = edges_[edge];
+  edge_lookup_.erase(EdgeKey{rec.src, rec.dst, rec.label});
+  live_[edge] = 0;
+  --num_live_edges_;
+  return OkStatus();
+}
+
+size_t SocialGraph::MemoryBytes() const {
+  size_t bytes = edges_.capacity() * sizeof(Edge) + live_.capacity();
+  for (const auto& col : attr_columns_) {
+    bytes += col.capacity() * sizeof(int64_t);
+  }
+  bytes += edge_lookup_.size() * (sizeof(EdgeKey) + sizeof(EdgeId) + 16);
+  return bytes;
+}
+
+}  // namespace sargus

@@ -1,0 +1,145 @@
+#ifndef SARGUS_GRAPH_SOCIAL_GRAPH_H_
+#define SARGUS_GRAPH_SOCIAL_GRAPH_H_
+
+/// \file social_graph.h
+/// \brief The mutable system of record: a labeled directed multigraph of
+/// users with integer node attributes.
+///
+/// SocialGraph is the only mutable structure in sargus. Everything else
+/// (CsrSnapshot, LineGraph, the index stack) is an immutable snapshot built
+/// from it; after a mutation, callers rebuild the snapshots they need
+/// (see bench/bench_dynamic.cc for the cost model this implies).
+///
+/// Edge slots are stable: RemoveEdge tombstones the slot instead of
+/// compacting, so EdgeIds held by callers never dangle. Iteration goes
+/// through EdgeSlotCount()/IsLiveEdge().
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sargus {
+
+/// Interning dictionary for label / attribute names.
+class NameDictionary {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  uint16_t Intern(const std::string& name);
+
+  /// Returns the id for `name`, or the sentinel (0xFFFF) if unknown.
+  uint16_t Lookup(const std::string& name) const;
+
+  /// Inverse mapping; `id` must be a valid interned id.
+  const std::string& ToString(uint16_t id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint16_t> ids_;
+};
+
+/// One directed labeled edge. `label` is interned in the graph's label
+/// dictionary.
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  LabelId label = kInvalidLabel;
+};
+
+class SocialGraph {
+ public:
+  SocialGraph() = default;
+
+  // Movable and copyable (generators return by value; benches copy).
+  SocialGraph(const SocialGraph&) = default;
+  SocialGraph& operator=(const SocialGraph&) = default;
+  SocialGraph(SocialGraph&&) noexcept = default;
+  SocialGraph& operator=(SocialGraph&&) noexcept = default;
+
+  // ---- Nodes ---------------------------------------------------------------
+
+  NodeId AddNode();
+  size_t NumNodes() const { return num_nodes_; }
+
+  /// Sets integer attribute `name` on `node` (interning the name).
+  /// Fails with kInvalidArgument if `node` is out of range.
+  Status SetAttribute(NodeId node, const std::string& name, int64_t value);
+
+  /// Attribute by pre-resolved id; nullopt when unset/unknown.
+  std::optional<int64_t> GetAttribute(NodeId node, AttrId attr) const;
+
+  /// Attribute by name; nullopt when unset/unknown.
+  std::optional<int64_t> GetAttribute(NodeId node,
+                                      const std::string& name) const;
+
+  // ---- Edges ---------------------------------------------------------------
+
+  /// Adds edge src -[label]-> dst, interning the label name. Duplicate
+  /// (src, dst, label) edges are coalesced: the existing id is returned.
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst, const std::string& label);
+
+  /// Same, with a label id already interned in this graph's dictionary.
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Tombstones the edge slot. kNotFound if the slot is dead or invalid.
+  Status RemoveEdge(EdgeId edge);
+
+  /// Number of live edges.
+  size_t NumEdges() const { return num_live_edges_; }
+
+  /// Total slots ever allocated (live + tombstoned); the iteration bound.
+  size_t EdgeSlotCount() const { return edges_.size(); }
+
+  bool IsLiveEdge(EdgeId edge) const {
+    return edge < edges_.size() && live_[edge];
+  }
+
+  /// Record for a slot; valid only while IsLiveEdge(edge).
+  const Edge& edge(EdgeId edge) const { return edges_[edge]; }
+
+  // ---- Dictionaries --------------------------------------------------------
+
+  const NameDictionary& labels() const { return labels_; }
+  NameDictionary& labels() { return labels_; }
+  const NameDictionary& attrs() const { return attrs_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  struct EdgeKey {
+    NodeId src;
+    NodeId dst;
+    LabelId label;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.src) << 32) ^
+                   (static_cast<uint64_t>(k.dst) << 16) ^ k.label;
+      h *= 0x9e3779b97f4a7c15ULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+
+  size_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<uint8_t> live_;
+  size_t num_live_edges_ = 0;
+  NameDictionary labels_;
+  NameDictionary attrs_;
+  // Per-attribute dense columns; INT64_MIN marks "unset".
+  std::vector<std::vector<int64_t>> attr_columns_;
+  std::unordered_map<EdgeKey, EdgeId, EdgeKeyHash> edge_lookup_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_GRAPH_SOCIAL_GRAPH_H_

@@ -1,0 +1,36 @@
+#include "index/base_tables.h"
+
+#include <algorithm>
+
+namespace sargus {
+
+BaseTables BaseTables::Build(const LineGraph& lg) {
+  BaseTables tables;
+  size_t max_label = 0;
+  for (LineVertexId v = 0; v < lg.NumVertices(); ++v) {
+    max_label = std::max<size_t>(max_label, lg.vertex(v).label);
+  }
+  if (lg.NumVertices() > 0) {
+    tables.tables_.resize(2 * (max_label + 1));
+  }
+  for (LineVertexId v = 0; v < lg.NumVertices(); ++v) {
+    const LineGraph::Vertex& lv = lg.vertex(v);
+    tables.tables_[2 * lv.label + (lv.backward ? 1 : 0)].push_back(
+        Row{v, lv.tail, lv.head});
+  }
+  for (auto& t : tables.tables_) {
+    std::sort(t.begin(), t.end(), [](const Row& a, const Row& b) {
+      return a.tail != b.tail ? a.tail < b.tail : a.line < b.line;
+    });
+  }
+  return tables;
+}
+
+std::span<const BaseTables::Row> BaseTables::Rows(LabelId label,
+                                                  bool backward) const {
+  const size_t idx = 2 * static_cast<size_t>(label) + (backward ? 1 : 0);
+  if (label == kInvalidLabel || idx >= tables_.size()) return {};
+  return tables_[idx];
+}
+
+}  // namespace sargus

@@ -1,0 +1,80 @@
+#ifndef SARGUS_INDEX_CLUSTER_INDEX_H_
+#define SARGUS_INDEX_CLUSTER_INDEX_H_
+
+/// \file cluster_index.h
+/// \brief ClusterJoinIndex: the paper's clustered join access structure.
+///
+/// Line vertices are clustered by (label, orientation, tail node); each
+/// non-empty cluster has a center (its first member) and the W-tables map
+/// a cluster key straight to its member list. A join step "extend the
+/// frontier by one `label` hop from node u" is then a single cluster
+/// lookup instead of a scan of the label's whole base table.
+///
+/// On top of the clusters, Build derives a label-pair reachability summary
+/// from the oracle's condensation DAG: label A can precede label B in some
+/// path iff some A-cluster member reaches some B-cluster member. The join
+/// evaluator uses it to discard infeasible concrete label sequences before
+/// generating a single tuple.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "graph/line_graph.h"
+#include "index/line_oracle.h"
+
+namespace sargus {
+
+class ClusterJoinIndex {
+ public:
+  ClusterJoinIndex() = default;
+
+  static Result<ClusterJoinIndex> Build(const LineGraph& lg,
+                                        const LineReachabilityOracle& oracle);
+
+  /// Members of cluster (label, orientation, tail=node): the line vertices
+  /// a frontier at `node` extends through for one hop of `label`.
+  std::span<const LineVertexId> Cluster(LabelId label, bool backward,
+                                        NodeId node) const;
+
+  /// Number of non-empty clusters (centers).
+  size_t NumCenters() const { return num_centers_; }
+
+  /// May an edge of (label a, orientation) precede — via any number of
+  /// line-graph arcs — an edge of (label b, orientation)? Sound prune:
+  /// false means no concrete sequence pairing them can match.
+  bool LabelPairReachable(LabelId a, bool a_backward, LabelId b,
+                          bool b_backward) const;
+
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           members_.capacity() * sizeof(LineVertexId) +
+           label_reach_.capacity() + centers_.capacity() * sizeof(LineVertexId);
+  }
+
+ private:
+  size_t OrientedLabelCount() const { return num_oriented_labels_; }
+  size_t BucketIndex(LabelId label, bool backward, NodeId node) const {
+    return (2 * static_cast<size_t>(label) + (backward ? 1 : 0)) *
+               num_nodes_ +
+           node;
+  }
+
+  size_t num_nodes_ = 0;
+  size_t num_oriented_labels_ = 0;  // 2 * (max label + 1)
+  size_t num_centers_ = 0;
+  // Bucketed members: offsets_ has num_oriented_labels_ * num_nodes_ + 1
+  // entries; members_ lists line vertices sorted by bucket.
+  std::vector<uint32_t> offsets_{0};
+  std::vector<LineVertexId> members_;
+  // One center per non-empty bucket, in bucket order (diagnostic).
+  std::vector<LineVertexId> centers_;
+  // Row-major oriented-label pair matrix.
+  std::vector<uint8_t> label_reach_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_INDEX_CLUSTER_INDEX_H_

@@ -1,0 +1,84 @@
+#include "index/scc.h"
+
+#include <algorithm>
+
+namespace sargus {
+
+Dag Dag::FromArcs(uint32_t num_vertices,
+                  std::vector<std::pair<uint32_t, uint32_t>> arcs) {
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  Dag dag;
+  dag.num_vertices_ = num_vertices;
+  dag.fwd_offsets_.assign(num_vertices + 1, 0);
+  dag.bwd_offsets_.assign(num_vertices + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    ++dag.fwd_offsets_[u + 1];
+    ++dag.bwd_offsets_[v + 1];
+  }
+  for (uint32_t i = 0; i < num_vertices; ++i) {
+    dag.fwd_offsets_[i + 1] += dag.fwd_offsets_[i];
+    dag.bwd_offsets_[i + 1] += dag.bwd_offsets_[i];
+  }
+  dag.fwd_arcs_.resize(arcs.size());
+  dag.bwd_arcs_.resize(arcs.size());
+  std::vector<uint32_t> fcur(dag.fwd_offsets_.begin(),
+                             dag.fwd_offsets_.end() - 1);
+  std::vector<uint32_t> bcur(dag.bwd_offsets_.begin(),
+                             dag.bwd_offsets_.end() - 1);
+  for (const auto& [u, v] : arcs) {
+    dag.fwd_arcs_[fcur[u]++] = v;
+    dag.bwd_arcs_[bcur[v]++] = u;
+  }
+
+  // Kahn topological order.
+  std::vector<uint32_t> indegree(num_vertices, 0);
+  for (const auto& [u, v] : arcs) ++indegree[v];
+  dag.topo_order_.reserve(num_vertices);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    if (indegree[v] == 0) dag.topo_order_.push_back(v);
+  }
+  for (size_t head = 0; head < dag.topo_order_.size(); ++head) {
+    const uint32_t u = dag.topo_order_[head];
+    for (uint32_t v : dag.Out(u)) {
+      if (--indegree[v] == 0) dag.topo_order_.push_back(v);
+    }
+  }
+  return dag;
+}
+
+SccResult ComputeScc(const LineGraph& lg) {
+  return ComputeSccGeneric(
+      lg.NumVertices(), [&lg](uint32_t v, auto&& emit) {
+        for (LineVertexId w : lg.VerticesWithTail(lg.vertex(v).head)) {
+          emit(w);
+        }
+      });
+}
+
+Dag BuildCondensation(const SccResult& scc, const LineGraph& lg) {
+  std::vector<std::pair<uint32_t, uint32_t>> arcs;
+  // Compact duplicates whenever the buffer doubles past the last compaction
+  // to keep peak memory near the deduplicated arc count rather than the
+  // (possibly quadratic) implicit arc count.
+  size_t compact_watermark = 1 << 20;
+  auto compact = [&arcs]() {
+    std::sort(arcs.begin(), arcs.end());
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  };
+  for (LineVertexId v = 0; v < lg.NumVertices(); ++v) {
+    const uint32_t cu = scc.component_of[v];
+    for (LineVertexId w : lg.VerticesWithTail(lg.vertex(v).head)) {
+      const uint32_t cw = scc.component_of[w];
+      if (cu != cw) arcs.emplace_back(cu, cw);
+    }
+    if (arcs.size() >= compact_watermark) {
+      compact();
+      compact_watermark = std::max(compact_watermark, arcs.size() * 2);
+    }
+  }
+  return Dag::FromArcs(scc.num_components, std::move(arcs));
+}
+
+}  // namespace sargus

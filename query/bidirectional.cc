@@ -1,0 +1,117 @@
+#include "query/bidirectional.h"
+
+#include <deque>
+
+#include "query/online_evaluator.h"
+
+namespace sargus {
+
+Result<Evaluation> BidirectionalEvaluator::Evaluate(
+    const ReachQuery& q) const {
+  SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
+  const BoundPathExpression& expr = *q.expr;
+  const HopAutomaton nfa(expr);
+  const uint32_t num_states = nfa.NumStates();
+  const size_t n = csr_->NumNodes();
+
+  Evaluation out;
+  if (nfa.AcceptsEmpty() && q.src == q.dst) {
+    out.granted = true;
+    if (q.want_witness) out.witness = {q.src};
+    return out;
+  }
+
+  std::vector<uint8_t> visited_f(n * num_states, 0);
+  std::vector<uint8_t> visited_b(n * num_states, 0);
+  std::deque<std::pair<NodeId, uint32_t>> queue_f;
+  std::deque<std::pair<NodeId, uint32_t>> queue_b;
+  bool met = false;
+
+  auto push_f = [&](NodeId node, uint32_t state) {
+    const size_t id = ProductConfigId(node, state, num_states);
+    if (visited_f[id]) return;
+    visited_f[id] = 1;
+    if (visited_b[id]) met = true;
+    queue_f.emplace_back(node, state);
+  };
+  auto push_b = [&](NodeId node, uint32_t state) {
+    const size_t id = ProductConfigId(node, state, num_states);
+    if (visited_b[id]) return;
+    visited_b[id] = 1;
+    if (visited_f[id]) met = true;
+    queue_b.emplace_back(node, state);
+  };
+
+  // Forward seeds: the start closure at the source.
+  for (uint32_t s : nfa.StartStates()) push_f(q.src, s);
+
+  // Backward seeds: configurations whose next edge can land on dst and
+  // accept. The destination must pass the final step's filter.
+  for (uint32_t s : nfa.AcceptingEdgeStates()) {
+    const BoundStep& step = nfa.StepSpec(s);
+    if (!BoundPathExpression::NodePasses(*graph_, q.dst, step)) continue;
+    // Edges entering dst under `step`'s orientation; their far end is a
+    // node that can finish the run in state s.
+    const auto entries = step.backward ? csr_->OutWithLabel(q.dst, step.label)
+                                       : csr_->InWithLabel(q.dst, step.label);
+    for (const CsrSnapshot::Entry& e : entries) push_b(e.other, s);
+  }
+
+  while (!met && (!queue_f.empty() || !queue_b.empty())) {
+    const bool expand_forward =
+        !queue_f.empty() &&
+        (queue_b.empty() || queue_f.size() <= queue_b.size());
+    if (expand_forward) {
+      auto [u, s] = queue_f.front();
+      queue_f.pop_front();
+      ++out.stats.pairs_visited;
+      const BoundStep& step = nfa.StepSpec(s);
+      const auto entries = step.backward
+                               ? csr_->InWithLabel(u, step.label)
+                               : csr_->OutWithLabel(u, step.label);
+      for (const CsrSnapshot::Entry& e : entries) {
+        const NodeId w = e.other;
+        if (!BoundPathExpression::NodePasses(*graph_, w, step)) continue;
+        if (w == q.dst && nfa.AcceptsAfterEdge(s)) {
+          met = true;
+          break;
+        }
+        for (uint32_t t : nfa.TargetsAfterEdge(s)) push_f(w, t);
+        if (met) break;
+      }
+    } else {
+      auto [v, t] = queue_b.front();
+      queue_b.pop_front();
+      ++out.stats.pairs_visited;
+      // Predecessor configs (u, s): consuming one `s`-edge from u enters v
+      // and transitions into t.
+      for (uint32_t s : nfa.SourcesIntoState(t)) {
+        const BoundStep& step = nfa.StepSpec(s);
+        if (!BoundPathExpression::NodePasses(*graph_, v, step)) continue;
+        const auto entries = step.backward
+                                 ? csr_->OutWithLabel(v, step.label)
+                                 : csr_->InWithLabel(v, step.label);
+        for (const CsrSnapshot::Entry& e : entries) {
+          push_b(e.other, s);
+          if (met) break;
+        }
+        if (met) break;
+      }
+    }
+  }
+
+  out.granted = met;
+  if (met && q.want_witness) {
+    // Membership sets cannot reproduce the path; rerun a forward search
+    // for the witness and fold its work into the stats.
+    OnlineEvaluator forward(*graph_, *csr_, TraversalOrder::kBfs);
+    auto r = forward.Evaluate(q);
+    if (r.ok() && r->granted) {
+      out.witness = std::move(r->witness);
+      out.stats.pairs_visited += r->stats.pairs_visited;
+    }
+  }
+  return out;
+}
+
+}  // namespace sargus

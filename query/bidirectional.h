@@ -1,0 +1,41 @@
+#ifndef SARGUS_QUERY_BIDIRECTIONAL_H_
+#define SARGUS_QUERY_BIDIRECTIONAL_H_
+
+/// \file bidirectional.h
+/// \brief Bidirectional online search: frontiers from both endpoints.
+///
+/// Forward frontier: configurations (node, state) reachable from the
+/// source, exactly as OnlineEvaluator explores them. Backward frontier:
+/// configurations from which the destination is reachable in an accepting
+/// run, grown over reversed edges and the reversed automaton. The query
+/// is granted as soon as the frontiers intersect. Each round expands the
+/// smaller frontier, which squeezes the exponential-ish ball radius from
+/// r to ~r/2 on both sides — the classic win on low-diameter social
+/// graphs.
+///
+/// Witness extraction re-runs a forward search when requested; the
+/// bidirectional pass itself only keeps membership sets.
+
+#include "core/automaton.h"
+#include "graph/csr.h"
+#include "query/evaluator.h"
+
+namespace sargus {
+
+class BidirectionalEvaluator : public Evaluator {
+ public:
+  BidirectionalEvaluator(const SocialGraph& graph, const CsrSnapshot& csr)
+      : graph_(&graph), csr_(&csr) {}
+
+  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
+
+  std::string_view name() const override { return "online-bidirectional"; }
+
+ private:
+  const SocialGraph* graph_;
+  const CsrSnapshot* csr_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_QUERY_BIDIRECTIONAL_H_

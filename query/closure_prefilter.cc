@@ -1,0 +1,27 @@
+#include "query/closure_prefilter.h"
+
+namespace sargus {
+
+Result<Evaluation> ClosurePrefilterEvaluator::Evaluate(
+    const ReachQuery& q) const {
+  // The prefilter is only sound when the closure over-approximates the
+  // expression's edge orientations, and only applicable when the query
+  // is plausibly valid for the graph the closure covers — anything else
+  // is delegated so the inner evaluator can report the proper error
+  // instead of a silent deny.
+  const bool sound =
+      q.expr != nullptr &&
+      (closure_->is_undirected() || !q.expr->HasBackwardStep()) &&
+      q.src < closure_->NumNodes() && q.dst < closure_->NumNodes() &&
+      q.expr->graph() != nullptr &&
+      q.expr->graph()->NumNodes() == closure_->NumNodes();
+  if (sound && !closure_->Reachable(q.src, q.dst)) {
+    Evaluation denied;
+    denied.granted = false;
+    denied.stats.prefilter_rejections = 1;
+    return denied;
+  }
+  return inner_->Evaluate(q);
+}
+
+}  // namespace sargus

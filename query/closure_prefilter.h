@@ -1,0 +1,39 @@
+#ifndef SARGUS_QUERY_CLOSURE_PREFILTER_H_
+#define SARGUS_QUERY_CLOSURE_PREFILTER_H_
+
+/// \file closure_prefilter.h
+/// \brief Composable fast-deny wrapper around any evaluator.
+///
+/// If the label-blind transitive closure says the destination is not
+/// reachable from the source at all, no labeled/bounded path can exist
+/// either — deny in O(1) without touching the inner evaluator. Soundness
+/// caveat: a *directed* closure does not over-approximate expressions
+/// with backward steps (they traverse reversed edges), so for those the
+/// wrapper skips the prefilter and delegates unless the closure was built
+/// undirected.
+
+#include "index/transitive_closure.h"
+#include "query/evaluator.h"
+
+namespace sargus {
+
+class ClosurePrefilterEvaluator : public Evaluator {
+ public:
+  /// Both references must outlive the evaluator; the closure must cover
+  /// the same graph the inner evaluator runs on.
+  ClosurePrefilterEvaluator(const TransitiveClosure& closure,
+                            const Evaluator& inner)
+      : closure_(&closure), inner_(&inner) {}
+
+  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
+
+  std::string_view name() const override { return "closure-prefilter"; }
+
+ private:
+  const TransitiveClosure* closure_;
+  const Evaluator* inner_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_QUERY_CLOSURE_PREFILTER_H_

@@ -1,0 +1,22 @@
+#include "query/evaluator.h"
+
+namespace sargus {
+
+Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph) {
+  if (q.expr == nullptr) {
+    return Status::InvalidArgument("query has no expression");
+  }
+  if (q.expr->graph() != &graph) {
+    return Status::InvalidArgument(
+        "expression was bound against a different graph");
+  }
+  if (q.src >= graph.NumNodes() || q.dst >= graph.NumNodes()) {
+    return Status::InvalidArgument("query endpoint out of range");
+  }
+  if (q.expr->steps().empty()) {
+    return Status::InvalidArgument("expression has no steps");
+  }
+  return OkStatus();
+}
+
+}  // namespace sargus

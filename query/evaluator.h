@@ -1,0 +1,74 @@
+#ifndef SARGUS_QUERY_EVALUATOR_H_
+#define SARGUS_QUERY_EVALUATOR_H_
+
+/// \file evaluator.h
+/// \brief The polymorphic query contract every sargus evaluator honors.
+///
+/// A ReachQuery asks: does a path from `src` (the resource owner) to
+/// `dst` (the requester) match `expr`? Every evaluator must return the
+/// same granted/denied decision for the same query — the strategies
+/// differ only in cost profile. The cross-evaluator agreement test suite
+/// (tests/evaluator_agreement_test.cc) enforces this invariant; it is the
+/// correctness backbone every optimization PR must keep green.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/path_expression.h"
+
+namespace sargus {
+
+struct ReachQuery {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Must be bound to the same SocialGraph the evaluator was built over,
+  /// and must outlive the call.
+  const BoundPathExpression* expr = nullptr;
+  /// Ask for a witness path (src ... dst) when granted. May cost extra.
+  bool want_witness = false;
+};
+
+/// Work counters; each evaluator fills the ones meaningful for it.
+struct EvalStats {
+  /// (node, automaton state) configurations expanded (traversal engines).
+  uint64_t pairs_visited = 0;
+  /// Join tuples materialized (join engines).
+  uint64_t tuples_generated = 0;
+  /// Tuples discarded by post-processing (faithful join mode).
+  uint64_t tuples_post_filtered = 0;
+  /// Concrete label sequences (line queries) evaluated (join engines).
+  uint64_t line_queries = 0;
+  /// Queries answered "deny" by a closure prefilter without evaluation.
+  uint64_t prefilter_rejections = 0;
+};
+
+struct Evaluation {
+  bool granted = false;
+  /// Node path src ... dst when granted and witness was requested.
+  std::vector<NodeId> witness;
+  EvalStats stats;
+};
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Decides `q`. Statuses: kInvalidArgument for null/foreign expressions
+  /// or out-of-range endpoints; kFailedPrecondition when the evaluator's
+  /// index lacks a capability the expression needs (backward steps without
+  /// a backward line graph); kResourceExhausted when a configured work cap
+  /// was exceeded.
+  virtual Result<Evaluation> Evaluate(const ReachQuery& q) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Shared argument validation; returns non-OK to propagate.
+Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph);
+
+}  // namespace sargus
+
+#endif  // SARGUS_QUERY_EVALUATOR_H_

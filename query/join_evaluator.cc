@@ -1,0 +1,250 @@
+#include "query/join_evaluator.h"
+
+#include <algorithm>
+
+namespace sargus {
+
+Result<Evaluation> JoinIndexEvaluator::Evaluate(const ReachQuery& q) const {
+  SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
+  const BoundPathExpression& expr = *q.expr;
+  if (expr.HasBackwardStep() && !lg_->includes_backward()) {
+    return Status::FailedPrecondition(
+        "expression has backward steps but the line graph was built "
+        "without backward orientations (LineGraph::Options::include_backward)");
+  }
+
+  Evaluation out;
+
+  // Enumerate hop-count choices per step (odometer), materializing each
+  // concrete sequence of unit hops.
+  const auto& steps = expr.steps();
+  const size_t k = steps.size();
+  std::vector<uint32_t> counts(k);
+  for (size_t i = 0; i < k; ++i) counts[i] = steps[i].min_hops;
+
+  std::vector<Hop> hops;
+  for (;;) {
+    if (++out.stats.line_queries > options_.max_line_queries) {
+      return Status::ResourceExhausted(
+          "expression expands to more than " +
+          std::to_string(options_.max_line_queries) + " line queries");
+    }
+    hops.clear();
+    for (size_t i = 0; i < k; ++i) {
+      for (uint32_t h = 0; h < counts[i]; ++h) {
+        hops.push_back(Hop{steps[i].label, steps[i].backward, &steps[i]});
+      }
+    }
+    auto matched = EvaluateSequence(q, hops, &out);
+    if (!matched.ok()) return matched.status();
+    if (*matched) {
+      out.granted = true;
+      return out;
+    }
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < k && counts[i] == steps[i].max_hops) {
+      counts[i] = steps[i].min_hops;
+      ++i;
+    }
+    if (i == k) break;
+    ++counts[i];
+  }
+  return out;
+}
+
+Result<bool> JoinIndexEvaluator::EvaluateSequence(const ReachQuery& q,
+                                                  const std::vector<Hop>& hops,
+                                                  Evaluation* eval) const {
+  // Feasibility prune via the cluster index's label-pair summary:
+  // consecutive hops must at least be reachability-compatible.
+  for (size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (!cluster_->LabelPairReachable(hops[i].label, hops[i].backward,
+                                      hops[i + 1].label,
+                                      hops[i + 1].backward)) {
+      return false;
+    }
+  }
+  return options_.faithful_post_filter ? FaithfulJoin(q, hops, eval)
+                                       : AdjacencyJoin(q, hops, eval);
+}
+
+Result<bool> JoinIndexEvaluator::AdjacencyJoin(const ReachQuery& q,
+                                               const std::vector<Hop>& hops,
+                                               Evaluation* eval) const {
+  // Frontier of line vertices after each hop, deduplicated per hop.
+  // Parents are kept only when a witness was requested.
+  const size_t m = hops.size();
+  std::vector<LineVertexId> frontier;
+  std::vector<LineVertexId> next;
+  std::vector<uint8_t> seen(lg_->NumVertices(), 0);
+  std::vector<std::vector<LineVertexId>> parents;  // per hop, per vertex pos
+  std::vector<std::vector<LineVertexId>> frontiers;
+  const bool track = q.want_witness;
+
+  auto passes = [&](LineVertexId lv, const Hop& hop) {
+    return BoundPathExpression::NodePasses(*graph_, lg_->vertex(lv).head,
+                                           *hop.step);
+  };
+
+  // Hop 0: cluster (label0, src).
+  for (LineVertexId lv : cluster_->Cluster(hops[0].label, hops[0].backward,
+                                           q.src)) {
+    if (!passes(lv, hops[0])) continue;
+    if (m == 1) {
+      if (lg_->vertex(lv).head == q.dst) {
+        if (track) eval->witness = {q.src, q.dst};
+        ++eval->stats.tuples_generated;
+        return true;
+      }
+      continue;
+    }
+    if (seen[lv]) continue;
+    seen[lv] = 1;
+    frontier.push_back(lv);
+    ++eval->stats.tuples_generated;
+  }
+  if (m == 1) return false;
+  if (track) {
+    frontiers.push_back(frontier);
+    parents.push_back(std::vector<LineVertexId>(frontier.size(),
+                                                kInvalidLineVertex));
+  }
+
+  for (size_t i = 1; i < m; ++i) {
+    for (LineVertexId lv : frontier) seen[lv] = 0;
+    next.clear();
+    std::vector<LineVertexId> next_parents;
+    const bool last = (i + 1 == m);
+    for (size_t fpos = 0; fpos < frontier.size(); ++fpos) {
+      const LineVertexId lv = frontier[fpos];
+      const NodeId mid = lg_->vertex(lv).head;
+      for (LineVertexId nx :
+           cluster_->Cluster(hops[i].label, hops[i].backward, mid)) {
+        if (!passes(nx, hops[i])) continue;
+        if (last) {
+          ++eval->stats.tuples_generated;
+          if (lg_->vertex(nx).head == q.dst) {
+            if (track) {
+              // Walk parent positions back to hop 0: parents[h][pos] is
+              // the position of frontiers[h][pos]'s parent within
+              // frontiers[h-1].
+              std::vector<LineVertexId> chain{nx, lv};
+              size_t pos = fpos;
+              for (size_t h = i - 1; h >= 1; --h) {
+                pos = parents[h][pos];
+                chain.push_back(frontiers[h - 1][pos]);
+              }
+              eval->witness.clear();
+              eval->witness.push_back(q.src);
+              for (size_t c = chain.size(); c-- > 0;) {
+                eval->witness.push_back(lg_->vertex(chain[c]).head);
+              }
+            }
+            return true;
+          }
+          continue;
+        }
+        if (seen[nx]) continue;
+        seen[nx] = 1;
+        next.push_back(nx);
+        if (track) next_parents.push_back(static_cast<LineVertexId>(fpos));
+        ++eval->stats.tuples_generated;
+        // Cap is on *live* tuples (this hop's frontier), mirroring
+        // faithful mode — not on cumulative work across sequences.
+        if (next.size() > options_.max_intermediate_tuples) {
+          return Status::ResourceExhausted("adjacency join exceeded tuple cap");
+        }
+      }
+    }
+    frontier.swap(next);
+    if (track && !last) {
+      frontiers.push_back(frontier);
+      parents.push_back(std::move(next_parents));
+    }
+    if (frontier.empty() && !last) return false;
+  }
+  return false;
+}
+
+Result<bool> JoinIndexEvaluator::FaithfulJoin(const ReachQuery& q,
+                                              const std::vector<Hop>& hops,
+                                              Evaluation* eval) const {
+  // The paper's formulation: materialize per-hop candidate tables, join
+  // consecutive hops on line-graph *reachability* (the precomputed
+  // oracle), and post-process tuples down to true consecutive adjacency
+  // and, if unanchored, to the query endpoints.
+  const size_t m = hops.size();
+  const bool anchor = options_.anchor_endpoints_early;
+
+  // Tuples are full chains (one line vertex per completed hop).
+  std::vector<std::vector<LineVertexId>> tuples;
+  for (const BaseTables::Row& row :
+       tables_->Rows(hops[0].label, hops[0].backward)) {
+    if (anchor && row.tail != q.src) continue;
+    if (!BoundPathExpression::NodePasses(*graph_, row.head, *hops[0].step)) {
+      continue;
+    }
+    tuples.push_back({row.line});
+    ++eval->stats.tuples_generated;
+    if (tuples.size() > options_.max_intermediate_tuples) {
+      return Status::ResourceExhausted("faithful join exceeded tuple cap");
+    }
+  }
+
+  for (size_t i = 1; i < m && !tuples.empty(); ++i) {
+    const bool last = (i + 1 == m);
+    std::vector<std::vector<LineVertexId>> joined;
+    for (const auto& chain : tuples) {
+      const LineVertexId prev = chain.back();
+      for (const BaseTables::Row& row :
+           tables_->Rows(hops[i].label, hops[i].backward)) {
+        if (anchor && last && row.head != q.dst) continue;
+        if (!BoundPathExpression::NodePasses(*graph_, row.head,
+                                             *hops[i].step)) {
+          continue;
+        }
+        // Reachability join: prev must reach row.line in the line graph.
+        if (!oracle_->ReachableVia(prev, row.line, options_.oracle_mode)) {
+          continue;
+        }
+        std::vector<LineVertexId> extended = chain;
+        extended.push_back(row.line);
+        joined.push_back(std::move(extended));
+        ++eval->stats.tuples_generated;
+        if (joined.size() > options_.max_intermediate_tuples) {
+          return Status::ResourceExhausted("faithful join exceeded tuple cap");
+        }
+      }
+    }
+    tuples.swap(joined);
+  }
+
+  // Post-processing: adjacency of consecutive hops, plus endpoint checks
+  // when they were not anchored during the joins.
+  for (const auto& chain : tuples) {
+    bool keep = chain.size() == m;
+    if (keep && lg_->vertex(chain.front()).tail != q.src) keep = false;
+    if (keep && lg_->vertex(chain.back()).head != q.dst) keep = false;
+    for (size_t i = 0; keep && i + 1 < chain.size(); ++i) {
+      if (lg_->vertex(chain[i]).head != lg_->vertex(chain[i + 1]).tail) {
+        keep = false;
+      }
+    }
+    if (!keep) {
+      ++eval->stats.tuples_post_filtered;
+      continue;
+    }
+    if (q.want_witness) {
+      eval->witness.clear();
+      eval->witness.push_back(lg_->vertex(chain.front()).tail);
+      for (LineVertexId lv : chain) {
+        eval->witness.push_back(lg_->vertex(lv).head);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sargus

@@ -1,0 +1,95 @@
+#ifndef SARGUS_QUERY_JOIN_EVALUATOR_H_
+#define SARGUS_QUERY_JOIN_EVALUATOR_H_
+
+/// \file join_evaluator.h
+/// \brief The paper's precomputed join pipeline (§3.3/§3.4).
+///
+/// A bound expression expands into concrete label sequences (one per
+/// choice of hop count in every step — the multiplicative "line query"
+/// expansion bench_depth_sweep.cc charts). Each sequence is evaluated as
+/// a join over line vertices:
+///
+///  * adjacency mode (default) — frontier join through the
+///    ClusterJoinIndex: one cluster lookup per (frontier vertex, hop),
+///    endpoint-anchored on both sides, early exit on the first match;
+///  * faithful mode (faithful_post_filter) — the paper's formulation:
+///    per-hop base tables joined pairwise on *oracle reachability*, full
+///    tuples materialized, then post-processed down to adjacency (and, if
+///    anchor_endpoints_early is off, to the query endpoints). Kept for
+///    the ablation; the tuple cap guards its appetite.
+///
+/// Infeasible sequences are discarded upfront via the cluster index's
+/// label-pair reachability summary.
+
+#include "graph/csr.h"
+#include "graph/line_graph.h"
+#include "index/base_tables.h"
+#include "index/cluster_index.h"
+#include "index/line_oracle.h"
+#include "query/evaluator.h"
+
+namespace sargus {
+
+struct JoinIndexOptions {
+  /// Reproduce the paper's reachability-join + post-filter evaluation.
+  bool faithful_post_filter = false;
+  /// Restrict the first/last hop tables to the query endpoints up front
+  /// (faithful mode only; adjacency mode always anchors).
+  bool anchor_endpoints_early = true;
+  /// Abort with kResourceExhausted beyond this many live tuples.
+  size_t max_intermediate_tuples = size_t{1} << 22;
+  /// Abort with kResourceExhausted beyond this many concrete sequences.
+  size_t max_line_queries = 4096;
+  /// Oracle mode used for reachability joins in faithful mode.
+  OracleMode oracle_mode = OracleMode::kTwoHop;
+};
+
+class JoinIndexEvaluator : public Evaluator {
+ public:
+  /// All referenced structures must outlive the evaluator and must have
+  /// been built over the same graph/line-graph.
+  JoinIndexEvaluator(const SocialGraph& graph, const LineGraph& lg,
+                     const LineReachabilityOracle& oracle,
+                     const ClusterJoinIndex& cluster_index,
+                     const BaseTables& tables, JoinIndexOptions options)
+      : graph_(&graph),
+        lg_(&lg),
+        oracle_(&oracle),
+        cluster_(&cluster_index),
+        tables_(&tables),
+        options_(options) {}
+
+  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
+
+  std::string_view name() const override {
+    return options_.faithful_post_filter ? "join-index-faithful"
+                                         : "join-index";
+  }
+
+ private:
+  struct Hop {
+    LabelId label = kInvalidLabel;
+    bool backward = false;
+    const BoundStep* step = nullptr;  // filter source
+  };
+
+  /// Evaluates one concrete sequence; appends to `eval`'s stats.
+  Result<bool> EvaluateSequence(const ReachQuery& q,
+                                const std::vector<Hop>& hops,
+                                Evaluation* eval) const;
+  Result<bool> AdjacencyJoin(const ReachQuery& q, const std::vector<Hop>& hops,
+                             Evaluation* eval) const;
+  Result<bool> FaithfulJoin(const ReachQuery& q, const std::vector<Hop>& hops,
+                            Evaluation* eval) const;
+
+  const SocialGraph* graph_;
+  const LineGraph* lg_;
+  const LineReachabilityOracle* oracle_;
+  const ClusterJoinIndex* cluster_;
+  const BaseTables* tables_;
+  JoinIndexOptions options_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_QUERY_JOIN_EVALUATOR_H_

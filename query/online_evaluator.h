@@ -1,0 +1,43 @@
+#ifndef SARGUS_QUERY_ONLINE_EVALUATOR_H_
+#define SARGUS_QUERY_ONLINE_EVALUATOR_H_
+
+/// \file online_evaluator.h
+/// \brief Index-free online search: the paper's per-request O(|V|+|E|)
+/// baseline.
+///
+/// Explores the product space (graph node × hop-automaton state) from the
+/// source, BFS or DFS order, stopping the moment the destination is
+/// reached in an accepting configuration. No precomputation: immune to
+/// graph churn (rebuild the CSR and go), pays full exploration on denies.
+
+#include "core/automaton.h"
+#include "graph/csr.h"
+#include "query/evaluator.h"
+
+namespace sargus {
+
+enum class TraversalOrder { kBfs, kDfs };
+
+class OnlineEvaluator : public Evaluator {
+ public:
+  /// `graph` and `csr` must outlive the evaluator; `csr` must be a
+  /// snapshot of `graph`.
+  OnlineEvaluator(const SocialGraph& graph, const CsrSnapshot& csr,
+                  TraversalOrder order = TraversalOrder::kBfs)
+      : graph_(&graph), csr_(&csr), order_(order) {}
+
+  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
+
+  std::string_view name() const override {
+    return order_ == TraversalOrder::kBfs ? "online-bfs" : "online-dfs";
+  }
+
+ private:
+  const SocialGraph* graph_;
+  const CsrSnapshot* csr_;
+  TraversalOrder order_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_QUERY_ONLINE_EVALUATOR_H_

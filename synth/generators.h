@@ -1,0 +1,59 @@
+#ifndef SARGUS_SYNTH_GENERATORS_H_
+#define SARGUS_SYNTH_GENERATORS_H_
+
+/// \file generators.h
+/// \brief Deterministic synthetic social graphs: Erdős–Rényi,
+/// Barabási–Albert (preferential attachment) and Watts–Strogatz
+/// (small world) — the three families the evaluation sweeps over.
+///
+/// Everything is a pure function of the spec (including the seed): the
+/// bench suite relies on (kind, nodes, labels, seed, degree) keys to
+/// cache pipelines across processes and runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/social_graph.h"
+
+namespace sargus {
+
+/// Parameters shared by every family.
+struct SocialGraphSpec {
+  size_t num_nodes = 0;
+  uint64_t seed = 1;
+  /// Relationship label alphabet; edge labels are drawn uniformly.
+  std::vector<std::string> labels = {"friend", "colleague", "family"};
+  /// Probability that an edge gets a reverse twin (same label). Social
+  /// ties are often mutual; high reciprocity also produces the giant SCC
+  /// that makes closure compression interesting.
+  double reciprocity = 0.5;
+  /// Assign "age" (13..80) and "trust" (0..100) attributes to every node
+  /// so expressions with attribute filters have something to bite on.
+  bool assign_attributes = true;
+};
+
+struct ErdosRenyiSpec {
+  SocialGraphSpec base;
+  double avg_out_degree = 4.0;
+};
+
+struct BarabasiAlbertSpec {
+  SocialGraphSpec base;
+  size_t edges_per_node = 4;
+};
+
+struct WattsStrogatzSpec {
+  SocialGraphSpec base;
+  size_t neighbors_per_side = 2;
+  double rewire_probability = 0.1;
+};
+
+Result<SocialGraph> GenerateErdosRenyi(const ErdosRenyiSpec& spec);
+Result<SocialGraph> GenerateBarabasiAlbert(const BarabasiAlbertSpec& spec);
+Result<SocialGraph> GenerateWattsStrogatz(const WattsStrogatzSpec& spec);
+
+}  // namespace sargus
+
+#endif  // SARGUS_SYNTH_GENERATORS_H_

@@ -1,0 +1,33 @@
+#ifndef SARGUS_SYNTH_WORKLOAD_H_
+#define SARGUS_SYNTH_WORKLOAD_H_
+
+/// \file workload.h
+/// \brief Query-workload helpers for benches and tests.
+///
+/// Uniformly sampled (src, dst) pairs are almost always denies on sparse
+/// graphs, which makes latency numbers lie (denies and grants have very
+/// different cost profiles — see bench_query_latency.cc's grant/deny
+/// split). CollectMatchingAudience enumerates the *actual* audience of an
+/// expression from a source, so workloads can mix guided positives with
+/// uniform pairs at a controlled rate.
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/path_expression.h"
+#include "graph/csr.h"
+
+namespace sargus {
+
+/// All nodes reachable from `src` through a path matching `expr`
+/// (i.e. every dst for which access would be granted), sorted ascending.
+/// The expression must be bound against `g`; `csr` must snapshot `g`.
+/// Returns empty on any argument mismatch.
+std::vector<NodeId> CollectMatchingAudience(const SocialGraph& g,
+                                            const CsrSnapshot& csr,
+                                            const BoundPathExpression& expr,
+                                            NodeId src);
+
+}  // namespace sargus
+
+#endif  // SARGUS_SYNTH_WORKLOAD_H_

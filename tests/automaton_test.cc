@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/automaton.h"
+#include "tests/test_util.h"
+
+namespace sargus {
+namespace {
+
+using testing_util::MakeDiamond;
+using testing_util::MustBind;
+
+TEST(HopAutomaton, SingleFixedStep) {
+  SocialGraph g = MakeDiamond();
+  BoundPathExpression e = MustBind(g, "friend[1]");
+  HopAutomaton nfa(e);
+  EXPECT_EQ(nfa.NumStates(), 1u);
+  ASSERT_EQ(nfa.StartStates().size(), 1u);
+  const uint32_t s0 = nfa.StartStates()[0];
+  EXPECT_TRUE(nfa.AcceptsAfterEdge(s0));
+  EXPECT_TRUE(nfa.TargetsAfterEdge(s0).empty());
+  EXPECT_FALSE(nfa.AcceptsEmpty());
+}
+
+TEST(HopAutomaton, RangeStep) {
+  SocialGraph g = MakeDiamond();
+  BoundPathExpression e = MustBind(g, "friend[1,3]");
+  HopAutomaton nfa(e);
+  EXPECT_EQ(nfa.NumStates(), 3u);
+  const uint32_t s0 = nfa.StartStates()[0];
+  // After one edge the run may stop (accept) or continue (state h=1).
+  EXPECT_TRUE(nfa.AcceptsAfterEdge(s0));
+  EXPECT_EQ(nfa.TargetsAfterEdge(s0).size(), 1u);
+  const uint32_t s1 = nfa.TargetsAfterEdge(s0)[0];
+  EXPECT_TRUE(nfa.AcceptsAfterEdge(s1));
+  const uint32_t s2 = nfa.TargetsAfterEdge(s1)[0];
+  // Third hop exhausts the range: accept only.
+  EXPECT_TRUE(nfa.AcceptsAfterEdge(s2));
+  EXPECT_TRUE(nfa.TargetsAfterEdge(s2).empty());
+}
+
+TEST(HopAutomaton, TwoSteps) {
+  SocialGraph g = MakeDiamond();
+  BoundPathExpression e = MustBind(g, "friend[1,2]/colleague[1]");
+  HopAutomaton nfa(e);
+  EXPECT_EQ(nfa.NumStates(), 3u);  // friend h=0, h=1; colleague h=0
+  const uint32_t s0 = nfa.StartStates()[0];
+  // After the first friend hop: not accepting (colleague still required),
+  // can continue friend (h=1) or switch to colleague (h=0).
+  EXPECT_FALSE(nfa.AcceptsAfterEdge(s0));
+  EXPECT_EQ(nfa.TargetsAfterEdge(s0).size(), 2u);
+  // The colleague state accepts after its single hop.
+  for (uint32_t t : nfa.TargetsAfterEdge(s0)) {
+    if (nfa.StepOf(t) == 1) {
+      EXPECT_TRUE(nfa.AcceptsAfterEdge(t));
+      EXPECT_TRUE(nfa.TargetsAfterEdge(t).empty());
+    }
+  }
+}
+
+TEST(HopAutomaton, ReverseTransitionsMirrorForward) {
+  SocialGraph g = MakeDiamond();
+  BoundPathExpression e = MustBind(g, "friend[1,2]/colleague[1,2]");
+  HopAutomaton nfa(e);
+  for (uint32_t s = 0; s < nfa.NumStates(); ++s) {
+    for (uint32_t t : nfa.TargetsAfterEdge(s)) {
+      const auto& sources = nfa.SourcesIntoState(t);
+      EXPECT_NE(std::find(sources.begin(), sources.end(), s), sources.end());
+    }
+  }
+  // Accepting edge states: both colleague states (min met after 1 hop)
+  // and the friend states cannot accept (colleague required).
+  for (uint32_t s : nfa.AcceptingEdgeStates()) {
+    EXPECT_EQ(nfa.StepOf(s), 1u);
+  }
+  EXPECT_EQ(nfa.AcceptingEdgeStates().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sargus

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr.h"
+#include "tests/test_util.h"
+
+namespace sargus {
+namespace {
+
+TEST(CsrSnapshot, MirrorsLiveEdges) {
+  SocialGraph g = testing_util::MakeDiamond();
+  CsrSnapshot csr = CsrSnapshot::Build(g);
+  EXPECT_EQ(csr.NumNodes(), g.NumNodes());
+  EXPECT_EQ(csr.NumEdges(), g.NumEdges());
+
+  // Node 0 has friend edges to 1 and 4.
+  auto out0 = csr.Out(0);
+  ASSERT_EQ(out0.size(), 2u);
+  std::vector<NodeId> targets;
+  for (const auto& e : out0) targets.push_back(e.other);
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(targets, (std::vector<NodeId>{1, 4}));
+
+  // In-edges of 3: colleague from 2 and 4, friend from 5.
+  EXPECT_EQ(csr.In(3).size(), 3u);
+}
+
+TEST(CsrSnapshot, LabelRanges) {
+  SocialGraph g = testing_util::MakeDiamond();
+  CsrSnapshot csr = CsrSnapshot::Build(g);
+  const LabelId friend_l = g.labels().Lookup("friend");
+  const LabelId colleague_l = g.labels().Lookup("colleague");
+
+  EXPECT_EQ(csr.OutWithLabel(1, friend_l).size(), 1u);     // 1 -f-> 2
+  EXPECT_EQ(csr.OutWithLabel(1, colleague_l).size(), 1u);  // 1 -c-> 5
+  EXPECT_EQ(csr.InWithLabel(3, colleague_l).size(), 2u);   // from 2 and 4
+  EXPECT_EQ(csr.InWithLabel(3, friend_l).size(), 1u);      // from 5
+  EXPECT_TRUE(csr.OutWithLabel(3, friend_l).empty());
+}
+
+TEST(CsrSnapshot, IgnoresTombstonedEdges) {
+  SocialGraph g;
+  g.AddNode();
+  g.AddNode();
+  const EdgeId e = *g.AddEdge(0, 1, "friend");
+  (void)g.AddEdge(1, 0, "friend");
+  ASSERT_TRUE(g.RemoveEdge(e).ok());
+  CsrSnapshot csr = CsrSnapshot::Build(g);
+  EXPECT_EQ(csr.NumEdges(), 1u);
+  EXPECT_TRUE(csr.Out(0).empty());
+  EXPECT_EQ(csr.Out(1).size(), 1u);
+}
+
+TEST(CsrSnapshot, SnapshotIsImmutable) {
+  SocialGraph g;
+  g.AddNode();
+  g.AddNode();
+  (void)g.AddEdge(0, 1, "friend");
+  CsrSnapshot csr = CsrSnapshot::Build(g);
+  (void)g.AddEdge(1, 0, "friend");  // mutate after snapshot
+  EXPECT_EQ(csr.NumEdges(), 1u);    // snapshot unchanged
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(CsrSnapshot, EmptyGraph) {
+  SocialGraph g;
+  CsrSnapshot csr = CsrSnapshot::Build(g);
+  EXPECT_EQ(csr.NumNodes(), 0u);
+  EXPECT_EQ(csr.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace sargus

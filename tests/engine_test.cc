@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "engine/access_engine.h"
+#include "tests/test_util.h"
+
+namespace sargus {
+namespace {
+
+using testing_util::MakeDiamond;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : g_(MakeDiamond()) {}
+  SocialGraph g_;
+  PolicyStore store_;
+};
+
+TEST_F(EngineTest, PolicyStoreBasics) {
+  const ResourceId photo = store_.RegisterResource(0, "photo");
+  EXPECT_TRUE(store_.HasResource(photo));
+  EXPECT_EQ(store_.resource(photo).owner, 0u);
+  EXPECT_EQ(store_.resource(photo).name, "photo");
+
+  auto rule = store_.AddRuleFromPaths(photo, {"friend[1,2]/colleague[1]"});
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(store_.NumRules(), 1u);
+  EXPECT_EQ(store_.rule(*rule).paths.size(), 1u);
+
+  // Unknown resource.
+  EXPECT_EQ(store_.AddRuleFromPaths(99, {"friend[1]"}).status().code(),
+            StatusCode::kNotFound);
+  // Empty path list.
+  EXPECT_EQ(store_.AddRuleFromPaths(photo, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Syntax error propagates; no rule is stored.
+  EXPECT_EQ(store_.AddRuleFromPaths(photo, {"friend[0]"}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_.NumRules(), 1u);
+}
+
+TEST_F(EngineTest, GrantAndDenyAcrossEvaluatorChoices) {
+  const ResourceId photo = store_.RegisterResource(0, "photo");
+  ASSERT_TRUE(store_.AddRuleFromPaths(photo, {"friend[1,2]/colleague[1]"})
+                  .ok());
+
+  for (EvaluatorChoice choice :
+       {EvaluatorChoice::kAuto, EvaluatorChoice::kOnlineBfs,
+        EvaluatorChoice::kOnlineDfs, EvaluatorChoice::kBidirectional,
+        EvaluatorChoice::kJoinIndex}) {
+    EngineOptions opts;
+    opts.evaluator = choice;
+    AccessControlEngine engine(g_, store_, opts);
+    ASSERT_TRUE(engine.RebuildIndexes().ok());
+    // Node 3 is in the audience of owner 0 (0-f->4-c->3).
+    auto granted = engine.CheckAccess(3, photo);
+    ASSERT_TRUE(granted.ok());
+    EXPECT_TRUE(granted->granted) << static_cast<int>(choice);
+    EXPECT_TRUE(granted->matched_rule.has_value());
+    // Node 2 is not (no colleague edge ends at 2).
+    auto denied = engine.CheckAccess(2, photo);
+    ASSERT_TRUE(denied.ok());
+    EXPECT_FALSE(denied->granted) << static_cast<int>(choice);
+    EXPECT_FALSE(denied->matched_rule.has_value());
+  }
+}
+
+TEST_F(EngineTest, OwnerAlwaysGranted) {
+  const ResourceId secret = store_.RegisterResource(2, "secret");
+  AccessControlEngine engine(g_, store_);
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+  auto r = engine.CheckAccess(2, secret);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->granted);
+  EXPECT_TRUE(r->owner_access);
+  // No rules: everyone else is denied.
+  auto other = engine.CheckAccess(0, secret);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->granted);
+}
+
+TEST_F(EngineTest, RuleDisjunction) {
+  const ResourceId album = store_.RegisterResource(0, "album");
+  // Two rules; the second one admits node 1 (friend[1]).
+  ASSERT_TRUE(store_.AddRuleFromPaths(album, {"colleague[1]"}).ok());
+  ASSERT_TRUE(store_.AddRuleFromPaths(album, {"friend[1]"}).ok());
+  AccessControlEngine engine(g_, store_);
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+  auto r = engine.CheckAccess(1, album);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->granted);
+  ASSERT_TRUE(r->matched_rule.has_value());
+  EXPECT_EQ(store_.rule(*r->matched_rule).paths[0].ToString(), "friend[1]");
+}
+
+TEST_F(EngineTest, BackwardPolicyNeedsBackwardLineGraph) {
+  const ResourceId res = store_.RegisterResource(1, "res");
+  ASSERT_TRUE(store_.AddRuleFromPaths(res, {"friend-[1]"}).ok());
+
+  // With kAuto and no backward line graph the engine falls back to online
+  // search: still correct.
+  AccessControlEngine engine(g_, store_);
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+  auto r = engine.CheckAccess(0, res);  // edge 0-f->1 reversed
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->granted);
+
+  // Forcing the join index without backward orientations fails loudly.
+  EngineOptions join_opts;
+  join_opts.evaluator = EvaluatorChoice::kJoinIndex;
+  AccessControlEngine join_engine(g_, store_, join_opts);
+  ASSERT_TRUE(join_engine.RebuildIndexes().ok());
+  auto bad = join_engine.CheckAccess(0, res);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+
+  // With line_graph_backward the join index serves it.
+  join_opts.line_graph_backward = true;
+  AccessControlEngine ok_engine(g_, store_, join_opts);
+  ASSERT_TRUE(ok_engine.RebuildIndexes().ok());
+  auto good = ok_engine.CheckAccess(0, res);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->granted);
+}
+
+TEST_F(EngineTest, RulePathErrorDoesNotMaskLaterGrant) {
+  // Disjunction semantics: the backward path errors under a forced
+  // forward-only join index, but the second path grants node 1 anyway.
+  const ResourceId res = store_.RegisterResource(0, "res");
+  ASSERT_TRUE(store_.AddRuleFromPaths(res, {"friend-[1]", "friend[1]"}).ok());
+  EngineOptions opts;
+  opts.evaluator = EvaluatorChoice::kJoinIndex;  // no backward line graph
+  AccessControlEngine engine(g_, store_, opts);
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+  auto granted = engine.CheckAccess(1, res);
+  ASSERT_TRUE(granted.ok()) << granted.status().ToString();
+  EXPECT_TRUE(granted->granted);
+  // When nothing grants, the evaluation error stays loud.
+  auto err = engine.CheckAccess(3, res);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, WitnessAndPrefilter) {
+  const ResourceId res = store_.RegisterResource(0, "res");
+  ASSERT_TRUE(
+      store_.AddRuleFromPaths(res, {"friend[1,2]/colleague[1]"}).ok());
+  EngineOptions opts;
+  opts.want_witness = true;
+  opts.use_closure_prefilter = true;
+  AccessControlEngine engine(g_, store_, opts);
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+
+  auto r = engine.CheckAccess(3, res);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->granted);
+  ASSERT_GE(r->witness.size(), 3u);
+  EXPECT_EQ(r->witness.front(), 0u);
+  EXPECT_EQ(r->witness.back(), 3u);
+}
+
+TEST_F(EngineTest, ErrorsAndPreconditions) {
+  const ResourceId res = store_.RegisterResource(0, "res");
+  AccessControlEngine engine(g_, store_);
+  // Unknown resource.
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+  EXPECT_EQ(engine.CheckAccess(1, 42).status().code(), StatusCode::kNotFound);
+  // Requester out of range.
+  EXPECT_EQ(engine.CheckAccess(99, res).status().code(),
+            StatusCode::kInvalidArgument);
+  // CheckAccess before RebuildIndexes.
+  AccessControlEngine cold(g_, store_);
+  EXPECT_EQ(cold.CheckAccess(1, res).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, AuditTrailRecordsDecisions) {
+  const ResourceId res = store_.RegisterResource(0, "res");
+  ASSERT_TRUE(store_.AddRuleFromPaths(res, {"friend[1]"}).ok());
+  EngineOptions opts;
+  opts.audit_capacity = 3;
+  AccessControlEngine engine(g_, store_, opts);
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+  for (NodeId r = 1; r <= 5; ++r) {
+    ASSERT_TRUE(engine.CheckAccess(r, res).ok());
+  }
+  const auto trail = engine.AuditTrail();
+  ASSERT_EQ(trail.size(), 3u);  // capped
+  // Oldest-first: requesters 3, 4, 5 remain.
+  EXPECT_EQ(trail[0].requester, 3u);
+  EXPECT_EQ(trail[2].requester, 5u);
+  // Requester 4 was granted (0-f->4), requester 3 denied.
+  EXPECT_FALSE(trail[0].granted);
+  EXPECT_TRUE(trail[1].granted);
+}
+
+}  // namespace
+}  // namespace sargus

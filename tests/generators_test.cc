@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "synth/generators.h"
+
+namespace sargus {
+namespace {
+
+TEST(Generators, ErdosRenyiBasics) {
+  auto g = GenerateErdosRenyi(
+      {.base = {.num_nodes = 100, .seed = 1}, .avg_out_degree = 3.0});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 100u);
+  // Edge budget is 300 before reciprocity twins and dedup coalescing.
+  EXPECT_GT(g->NumEdges(), 200u);
+  EXPECT_LT(g->NumEdges(), 650u);
+  EXPECT_EQ(g->labels().size(), 3u);  // default alphabet
+}
+
+TEST(Generators, Deterministic) {
+  const ErdosRenyiSpec spec{.base = {.num_nodes = 50, .seed = 9},
+                            .avg_out_degree = 2.0};
+  auto g1 = GenerateErdosRenyi(spec);
+  auto g2 = GenerateErdosRenyi(spec);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  ASSERT_EQ(g1->EdgeSlotCount(), g2->EdgeSlotCount());
+  for (EdgeId e = 0; e < g1->EdgeSlotCount(); ++e) {
+    EXPECT_EQ(g1->edge(e).src, g2->edge(e).src);
+    EXPECT_EQ(g1->edge(e).dst, g2->edge(e).dst);
+    EXPECT_EQ(g1->edge(e).label, g2->edge(e).label);
+  }
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(g1->GetAttribute(v, "age"), g2->GetAttribute(v, "age"));
+  }
+  // A different seed diverges.
+  auto g3 = GenerateErdosRenyi({.base = {.num_nodes = 50, .seed = 10},
+                                .avg_out_degree = 2.0});
+  ASSERT_TRUE(g3.ok());
+  bool differs = g3->EdgeSlotCount() != g1->EdgeSlotCount();
+  for (EdgeId e = 0; !differs && e < g1->EdgeSlotCount(); ++e) {
+    differs = g1->edge(e).src != g3->edge(e).src ||
+              g1->edge(e).dst != g3->edge(e).dst;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, BarabasiAlbertSkew) {
+  auto g = GenerateBarabasiAlbert(
+      {.base = {.num_nodes = 300, .seed = 4, .reciprocity = 0.0},
+       .edges_per_node = 2});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 300u);
+  // Preferential attachment: max in-degree far above the mean.
+  std::vector<size_t> indeg(300, 0);
+  for (EdgeId e = 0; e < g->EdgeSlotCount(); ++e) {
+    if (g->IsLiveEdge(e)) ++indeg[g->edge(e).dst];
+  }
+  const size_t max_in = *std::max_element(indeg.begin(), indeg.end());
+  EXPECT_GE(max_in, 10u);
+}
+
+TEST(Generators, WattsStrogatzRing) {
+  auto g = GenerateWattsStrogatz({.base = {.num_nodes = 60, .seed = 2,
+                                           .reciprocity = 0.0},
+                                  .neighbors_per_side = 2,
+                                  .rewire_probability = 0.0});
+  ASSERT_TRUE(g.ok());
+  // No rewiring: exactly 2 out-edges per node.
+  EXPECT_EQ(g->NumEdges(), 120u);
+}
+
+TEST(Generators, AttributesInRange) {
+  auto g = GenerateErdosRenyi(
+      {.base = {.num_nodes = 40, .seed = 6}, .avg_out_degree = 1.0});
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < 40; ++v) {
+    const auto age = g->GetAttribute(v, "age");
+    ASSERT_TRUE(age.has_value());
+    EXPECT_GE(*age, 13);
+    EXPECT_LE(*age, 80);
+    const auto trust = g->GetAttribute(v, "trust");
+    ASSERT_TRUE(trust.has_value());
+    EXPECT_GE(*trust, 0);
+    EXPECT_LE(*trust, 100);
+  }
+  auto bare = GenerateErdosRenyi(
+      {.base = {.num_nodes = 10, .seed = 6, .assign_attributes = false},
+       .avg_out_degree = 1.0});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->GetAttribute(0, "age"), std::nullopt);
+}
+
+TEST(Generators, ValidationErrors) {
+  EXPECT_EQ(GenerateErdosRenyi({.base = {.num_nodes = 0}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GenerateErdosRenyi({.base = {.num_nodes = 5, .labels = {}}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GenerateBarabasiAlbert(
+                {.base = {.num_nodes = 5}, .edges_per_node = 0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GenerateWattsStrogatz({.base = {.num_nodes = 5},
+                                   .neighbors_per_side = 1,
+                                   .rewire_probability = 2.0})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Generators, DuplicateLabelsInSpecDropNoEdges) {
+  // Duplicate names intern to one id; every generated edge must still
+  // land (regression: positional label indices produced invalid ids).
+  auto dup = GenerateWattsStrogatz(
+      {.base = {.num_nodes = 40, .seed = 3, .labels = {"friend", "friend"},
+                .reciprocity = 0.0},
+       .neighbors_per_side = 2,
+       .rewire_probability = 0.0});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->NumEdges(), 80u);  // 2 out-edges per node, none lost
+  EXPECT_EQ(dup->labels().size(), 1u);
+}
+
+TEST(Generators, CustomLabelAlphabet) {
+  auto g = GenerateErdosRenyi(
+      {.base = {.num_nodes = 30, .seed = 8, .labels = {"a", "b"}},
+       .avg_out_degree = 2.0});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->labels().size(), 2u);
+  for (EdgeId e = 0; e < g->EdgeSlotCount(); ++e) {
+    if (!g->IsLiveEdge(e)) continue;
+    EXPECT_LT(g->edge(e).label, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace sargus

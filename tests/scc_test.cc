@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "index/scc.h"
+#include "tests/test_util.h"
+
+namespace sargus {
+namespace {
+
+/// Adjacency-list SCC harness over a plain digraph.
+SccResult SccOf(size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& arcs) {
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (auto [u, v] : arcs) adj[u].push_back(v);
+  return ComputeSccGeneric(n, [&adj](uint32_t v, auto&& emit) {
+    for (uint32_t w : adj[v]) emit(w);
+  });
+}
+
+TEST(Scc, SingletonComponents) {
+  // A chain has no cycles: every vertex its own component.
+  SccResult r = SccOf(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(r.num_components, 4u);
+  EXPECT_NE(r.component_of[0], r.component_of[1]);
+}
+
+TEST(Scc, CycleCollapses) {
+  SccResult r = SccOf(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.component_of[0], r.component_of[1]);
+  EXPECT_EQ(r.component_of[1], r.component_of[2]);
+  EXPECT_NE(r.component_of[2], r.component_of[3]);
+}
+
+TEST(Scc, TwoCyclesBridge) {
+  SccResult r = SccOf(6, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 4}, {4, 2},
+                          {4, 5}});
+  EXPECT_EQ(r.num_components, 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(r.component_of[2], r.component_of[4]);
+  EXPECT_NE(r.component_of[0], r.component_of[2]);
+}
+
+TEST(Dag, FromArcsTopoOrderValid) {
+  Dag dag = Dag::FromArcs(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4},
+                              {0, 1}});  // includes a duplicate
+  EXPECT_EQ(dag.NumVertices(), 5u);
+  EXPECT_EQ(dag.NumArcs(), 5u);  // duplicate removed
+  // Topological order covers all vertices and respects arcs.
+  const auto& topo = dag.TopoOrder();
+  ASSERT_EQ(topo.size(), 5u);
+  std::vector<uint32_t> pos(5);
+  for (uint32_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (uint32_t u = 0; u < 5; ++u) {
+    for (uint32_t v : dag.Out(u)) EXPECT_LT(pos[u], pos[v]);
+  }
+  // In-arcs mirror out-arcs.
+  EXPECT_EQ(dag.In(3).size(), 2u);
+  EXPECT_EQ(dag.Out(0).size(), 2u);
+}
+
+TEST(Scc, LineGraphOfCycle) {
+  // Directed triangle: the line graph is itself a 3-cycle -> 1 component.
+  SocialGraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode();
+  (void)g.AddEdge(0, 1, "friend");
+  (void)g.AddEdge(1, 2, "friend");
+  (void)g.AddEdge(2, 0, "friend");
+  CsrSnapshot csr = CsrSnapshot::Build(g);
+  LineGraph lg = LineGraph::Build(csr);
+  SccResult r = ComputeScc(lg);
+  EXPECT_EQ(r.num_components, 1u);
+  Dag dag = BuildCondensation(r, lg);
+  EXPECT_EQ(dag.NumVertices(), 1u);
+  EXPECT_EQ(dag.NumArcs(), 0u);
+}
+
+TEST(Scc, LineGraphOfChain) {
+  // Chain of 3 edges: line graph is a 3-vertex path, all singleton.
+  SocialGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode();
+  (void)g.AddEdge(0, 1, "friend");
+  (void)g.AddEdge(1, 2, "friend");
+  (void)g.AddEdge(2, 3, "friend");
+  CsrSnapshot csr = CsrSnapshot::Build(g);
+  LineGraph lg = LineGraph::Build(csr);
+  SccResult r = ComputeScc(lg);
+  EXPECT_EQ(r.num_components, 3u);
+  Dag dag = BuildCondensation(r, lg);
+  EXPECT_EQ(dag.NumArcs(), 2u);
+}
+
+}  // namespace
+}  // namespace sargus
