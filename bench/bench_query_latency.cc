@@ -97,8 +97,9 @@ void BM_JoinIndexWithPrefilter(benchmark::State& state) {
               : join(*p.g, p.lg, *p.oracle, *p.cluster_index, p.tables,
                      JoinIndexOptions{}),
                 filtered(*p.closure, join) {}
-          Result<Evaluation> Evaluate(const ReachQuery& q) const override {
-            return filtered.Evaluate(q);
+          Result<Evaluation> EvaluateWith(const ReachQuery& q,
+                                          EvalContext& ctx) const override {
+            return filtered.Evaluate(q, ctx);
           }
           std::string_view name() const override { return "combo"; }
           JoinIndexEvaluator join;

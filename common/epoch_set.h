@@ -1,0 +1,77 @@
+#ifndef SARGUS_COMMON_EPOCH_SET_H_
+#define SARGUS_COMMON_EPOCH_SET_H_
+
+/// \file epoch_set.h
+/// \brief EpochStampSet: an O(1)-reset membership set over a dense index
+/// range, the building block of the query scratch pool.
+///
+/// A plain `std::vector<uint8_t> visited(n)` costs O(n) to allocate and
+/// zero on every query — which puts an O(|V|·states) floor under even the
+/// shortest-path grant. An EpochStampSet instead keeps one `uint32_t`
+/// stamp per slot and a current epoch counter: a slot is a member iff its
+/// stamp equals the current epoch, so "clear everything" is a single
+/// counter bump. The backing array is grown lazily and never shrinks; in
+/// steady state (same graph, repeated queries) a query touches only the
+/// slots it actually visits.
+///
+/// Epoch wraparound: after 2^32 - 1 epochs the counter would collide with
+/// stamps written in earlier eras, so BeginEpoch detects the wrap, zeroes
+/// the backing array once, and restarts at epoch 1 (stamp 0 therefore
+/// always means "never set in this era").
+///
+/// Not thread-safe: each thread (or caller) owns its own sets via
+/// EvalContext (see query/eval_context.h).
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sargus {
+
+class EpochStampSet {
+ public:
+  /// Starts a new (empty) membership epoch covering slots [0, size).
+  /// Grows the backing array if needed; never shrinks it. Must be called
+  /// before any Insert/Contains of a query.
+  void BeginEpoch(size_t size) {
+    if (stamps_.size() < size) stamps_.resize(size, 0);
+    if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+      // Wraparound: one O(n) wipe every 2^32 - 1 queries.
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    } else {
+      ++epoch_;
+    }
+  }
+
+  /// Marks `i` as a member; returns true when it was not yet a member
+  /// this epoch. `i` must be within the size passed to BeginEpoch.
+  bool Insert(size_t i) {
+    if (stamps_[i] == epoch_) return false;
+    stamps_[i] = epoch_;
+    return true;
+  }
+
+  bool Contains(size_t i) const { return stamps_[i] == epoch_; }
+
+  /// Slots currently backed (the high-water mark across epochs).
+  size_t capacity() const { return stamps_.size(); }
+
+  uint32_t epoch() const { return epoch_; }
+
+  /// Test hook: jump the epoch counter (e.g. to UINT32_MAX - 2) so a test
+  /// can force wraparound in a handful of queries. Stale stamps equal to
+  /// the new counter could read as members, so callers must follow up
+  /// with BeginEpoch before the next membership operation — exactly what
+  /// every evaluator does.
+  void SetEpochForTesting(uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_COMMON_EPOCH_SET_H_

@@ -4,8 +4,9 @@
 
 namespace sargus {
 
-HopAutomaton::HopAutomaton(const BoundPathExpression& expr) : expr_(&expr) {
-  const auto& steps = expr.steps();
+HopAutomaton::HopAutomaton(std::vector<BoundStep> bound_steps)
+    : steps_(std::move(bound_steps)) {
+  const auto& steps = steps_;
   // One state per (step i, hops h) with 0 <= h < max_i: "h hops of step i
   // consumed, ready to consume another".
   step_offsets_.resize(steps.size() + 1, 0);
@@ -55,7 +56,7 @@ HopAutomaton::HopAutomaton(const BoundPathExpression& expr) : expr_(&expr) {
 
 bool HopAutomaton::Closure(uint32_t step, uint32_t hops,
                            std::vector<uint32_t>* out) const {
-  const auto& steps = expr_->steps();
+  const auto& steps = steps_;
   bool accepts = false;
   // Walk forward through steps whose minimum is already satisfied. Each
   // iteration either records a real state, steps to the next step, or

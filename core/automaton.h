@@ -34,8 +34,14 @@ inline size_t ProductConfigId(NodeId node, uint32_t state,
 
 class HopAutomaton {
  public:
-  /// Compiles `expr` (which must stay alive as long as the automaton).
-  explicit HopAutomaton(const BoundPathExpression& expr);
+  /// Compiles `expr`. The automaton keeps its own copy of the bound
+  /// steps, so it is self-contained: it may outlive (and be shared
+  /// between copies of) the expression that produced it. Bind() compiles
+  /// one eagerly and caches it on the BoundPathExpression, so the hot
+  /// path never recompiles — see BoundPathExpression::automaton().
+  explicit HopAutomaton(const BoundPathExpression& expr)
+      : HopAutomaton(expr.steps()) {}
+  explicit HopAutomaton(std::vector<BoundStep> steps);
 
   /// Number of real (non-accept) states.
   uint32_t NumStates() const { return static_cast<uint32_t>(states_.size()); }
@@ -44,7 +50,7 @@ class HopAutomaton {
   uint32_t StepOf(uint32_t state) const { return states_[state].step; }
 
   const BoundStep& StepSpec(uint32_t state) const {
-    return expr_->steps()[states_[state].step];
+    return steps_[states_[state].step];
   }
 
   /// States entered after consuming an edge from `state` (the closure of
@@ -80,7 +86,8 @@ class HopAutomaton {
   /// generality.
   bool AcceptsEmpty() const { return accepts_empty_; }
 
-  const BoundPathExpression& expr() const { return *expr_; }
+  /// The bound steps this automaton was compiled from (its own copy).
+  const std::vector<BoundStep>& bound_steps() const { return steps_; }
 
  private:
   struct State {
@@ -99,7 +106,7 @@ class HopAutomaton {
     return step_offsets_[step] + hops;
   }
 
-  const BoundPathExpression* expr_;
+  std::vector<BoundStep> steps_;
   std::vector<State> states_;
   std::vector<uint32_t> step_offsets_;
   std::vector<uint32_t> start_states_;

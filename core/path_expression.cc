@@ -1,5 +1,7 @@
 #include "core/path_expression.h"
 
+#include "core/automaton.h"
+
 namespace sargus {
 
 std::string_view CmpOpName(CmpOp op) {
@@ -111,6 +113,10 @@ Result<BoundPathExpression> BoundPathExpression::Bind(
     }
     bound.steps_.push_back(std::move(b));
   }
+  // Compile the hop automaton once, at bind time. The automaton copies
+  // the steps, so it stays valid as the expression is moved or copied
+  // (copies share it).
+  bound.automaton_ = std::make_shared<const HopAutomaton>(bound.steps_);
   return bound;
 }
 

@@ -20,6 +20,7 @@
 /// dictionaries; it pins that graph and is what queries carry.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@
 #include "graph/social_graph.h"
 
 namespace sargus {
+
+class HopAutomaton;
 
 enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
 
@@ -122,10 +125,19 @@ class BoundPathExpression {
   static bool NodePasses(const SocialGraph& g, NodeId node,
                          const BoundStep& step);
 
+  /// The hop automaton compiled from this expression. Built eagerly by
+  /// Bind() (so const access is trivially thread-safe) and shared across
+  /// copies — the query hot path never recompiles it. Only valid on
+  /// expressions produced by Bind(); a default-constructed expression has
+  /// none (and is rejected by ValidateQuery before any evaluator gets
+  /// here).
+  const HopAutomaton& automaton() const { return *automaton_; }
+
  private:
   std::vector<BoundStep> steps_;
   const SocialGraph* graph_ = nullptr;
   PathExpression source_;
+  std::shared_ptr<const HopAutomaton> automaton_;
 };
 
 }  // namespace sargus

@@ -17,7 +17,8 @@ AccessControlEngine::~AccessControlEngine() = default;
 
 Status AccessControlEngine::RebuildIndexes() {
   built_ = false;
-  bind_cache_.clear();
+  compiled_rules_.clear();
+  prefiltered_.clear();
   csr_ = CsrSnapshot::Build(*graph_);
 
   // The join-index stack (line graph, oracle, cluster index, tables) is
@@ -58,8 +59,50 @@ Status AccessControlEngine::RebuildIndexes() {
   online_dfs_ = std::make_unique<OnlineEvaluator>(*graph_, csr_,
                                                   TraversalOrder::kDfs);
   bidirectional_ = std::make_unique<BidirectionalEvaluator>(*graph_, csr_);
+
+  // Eager policy binding: every rule known to the store is bound, its
+  // automaton compiled (inside Bind) and its evaluator picked now, so
+  // CheckAccess does none of that work per request.
+  compiled_rules_.resize(store_->NumRules());
+  for (RuleId id = 0; id < store_->NumRules(); ++id) {
+    (void)EnsureCompiled(id);
+  }
   built_ = true;
   return OkStatus();
+}
+
+const Evaluator* AccessControlEngine::WithPrefilter(const Evaluator* base) {
+  if (closure_ == nullptr || base == nullptr) return base;
+  auto it = prefiltered_.find(base);
+  if (it == prefiltered_.end()) {
+    it = prefiltered_
+             .emplace(base, std::make_unique<ClosurePrefilterEvaluator>(
+                                *closure_, *base))
+             .first;
+  }
+  return it->second.get();
+}
+
+const AccessControlEngine::CompiledRule& AccessControlEngine::EnsureCompiled(
+    RuleId id) {
+  if (compiled_rules_.size() < store_->NumRules()) {
+    compiled_rules_.resize(store_->NumRules());
+  }
+  CompiledRule& rule = compiled_rules_[id];
+  if (rule.compiled) return rule;
+  for (const PathExpression& path : store_->rule(id).paths) {
+    CompiledPath cp;
+    auto bound = BoundPathExpression::Bind(path, *graph_);
+    if (!bound.ok()) {
+      cp.bind_status = bound.status();
+    } else {
+      cp.bound = std::make_unique<BoundPathExpression>(std::move(*bound));
+      cp.evaluator = WithPrefilter(PickEvaluator(*cp.bound));
+    }
+    rule.paths.push_back(std::move(cp));
+  }
+  rule.compiled = true;
+  return rule;
 }
 
 const Evaluator* AccessControlEngine::PickEvaluator(
@@ -85,19 +128,6 @@ const Evaluator* AccessControlEngine::PickEvaluator(
     return online_bfs_.get();
   }
   return join_.get();
-}
-
-Result<const BoundPathExpression*> AccessControlEngine::BindCached(
-    const PathExpression& expr) {
-  std::string key = expr.ToString();
-  auto it = bind_cache_.find(key);
-  if (it != bind_cache_.end()) return it->second.get();
-  auto bound = BoundPathExpression::Bind(expr, *graph_);
-  if (!bound.ok()) return bound.status();
-  auto inserted = bind_cache_.emplace(
-      std::move(key),
-      std::make_unique<BoundPathExpression>(std::move(*bound)));
-  return inserted.first->second.get();
 }
 
 Result<AccessDecision> AccessControlEngine::CheckAccess(NodeId requester,
@@ -130,22 +160,15 @@ Result<AccessDecision> AccessControlEngine::CheckAccess(NodeId requester,
     // when nothing granted.
     std::optional<Status> first_error;
     for (const RuleId rule_id : res.rules) {
-      const PolicyStore::Rule& rule = store_->rule(rule_id);
-      for (const PathExpression& path : rule.paths) {
-        auto bound = BindCached(path);
-        if (!bound.ok()) {
-          if (!first_error) first_error = bound.status();
+      for (const CompiledPath& path : EnsureCompiled(rule_id).paths) {
+        if (!path.bind_status.ok()) {
+          if (!first_error) first_error = path.bind_status;
           continue;
         }
-        const Evaluator* eval = PickEvaluator(**bound);
-        std::optional<ClosurePrefilterEvaluator> prefiltered;
-        const Evaluator* chosen = eval;
-        if (closure_ != nullptr) {
-          prefiltered.emplace(*closure_, *eval);
-          chosen = &*prefiltered;
-        }
+        const Evaluator* chosen = path.evaluator;
 
-        ReachQuery q{res.owner, requester, *bound, options_.want_witness};
+        ReachQuery q{res.owner, requester, path.bound.get(),
+                     options_.want_witness};
         auto r = chosen->Evaluate(q);
         if (!r.ok()) {
           if (!first_error) first_error = r.status();

@@ -5,16 +5,23 @@
 /// \brief AccessControlEngine: the end-to-end facade.
 ///
 /// Wires a SocialGraph and a PolicyStore to the full index + evaluator
-/// stack: CheckAccess(requester, resource) looks up the resource, binds
-/// each rule expression (cached), dispatches to the configured evaluator,
-/// optionally wraps it in the closure prefilter, and records the decision
-/// in a bounded audit ring.
+/// stack: CheckAccess(requester, resource) looks up the resource, walks
+/// its eagerly-bound rules, dispatches to the pre-picked (and, when
+/// configured, prefilter-wrapped) evaluator, and records the decision in
+/// a bounded audit ring.
 ///
 /// Lifecycle: construct, RebuildIndexes(), serve CheckAccess. After any
 /// graph mutation call RebuildIndexes() again — every index is a snapshot
 /// (the cost model bench_dynamic.cc measures). kOnlineBfs/kOnlineDfs/
 /// kBidirectional only need the CSR; kJoinIndex needs the whole stack and
 /// fails with kFailedPrecondition if it is missing.
+///
+/// Policy binding happens at RebuildIndexes, keyed by stable RuleId:
+/// every rule path is bound, its hop automaton compiled, and its
+/// evaluator chosen once, so the request path performs no
+/// PathExpression::ToString(), Bind, or evaluator construction — only
+/// array lookups. Rules added to the store after RebuildIndexes are
+/// compiled on first use (once), not per request.
 
 #include <memory>
 #include <optional>
@@ -104,8 +111,27 @@ class AccessControlEngine {
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// One rule path, bound and wired at compile time. `bound` is
+  /// heap-allocated so the pointer handed to queries stays stable;
+  /// `evaluator` is the picked engine (prefilter-wrapped when enabled),
+  /// owned by the engine. A failed bind keeps its status here so rule
+  /// disjunction semantics can surface it only when nothing grants.
+  struct CompiledPath {
+    Status bind_status = OkStatus();
+    std::unique_ptr<BoundPathExpression> bound;
+    const Evaluator* evaluator = nullptr;
+  };
+  struct CompiledRule {
+    bool compiled = false;
+    std::vector<CompiledPath> paths;
+  };
+
   const Evaluator* PickEvaluator(const BoundPathExpression& expr) const;
-  Result<const BoundPathExpression*> BindCached(const PathExpression& expr);
+  /// Returns the closure-prefilter wrapper around `base` (creating it on
+  /// first need) when the prefilter is configured, `base` otherwise.
+  const Evaluator* WithPrefilter(const Evaluator* base);
+  /// Binds + wires every path of `id` once; cheap lookup afterwards.
+  const CompiledRule& EnsureCompiled(RuleId id);
 
   const SocialGraph* graph_;
   const PolicyStore* store_;
@@ -123,11 +149,13 @@ class AccessControlEngine {
   std::unique_ptr<Evaluator> online_dfs_;
   std::unique_ptr<Evaluator> bidirectional_;
   std::unique_ptr<Evaluator> join_;
+  // Closure-prefilter wrappers, one per wrapped base evaluator, built at
+  // compile time (not per request).
+  std::unordered_map<const Evaluator*, std::unique_ptr<Evaluator>>
+      prefiltered_;
 
-  // Bind cache keyed by canonical expression text. Entries are
-  // heap-allocated so cached pointers stay stable across inserts.
-  std::unordered_map<std::string, std::unique_ptr<BoundPathExpression>>
-      bind_cache_;
+  // Eagerly bound rules, indexed by RuleId.
+  std::vector<CompiledRule> compiled_rules_;
 
   // Audit ring.
   std::vector<AccessDecision> audit_;

@@ -1,18 +1,15 @@
 #include "query/bidirectional.h"
 
-#include <deque>
-
-#include "query/online_evaluator.h"
+#include "query/eval_context.h"
+#include "query/product_walker.h"
 
 namespace sargus {
 
-Result<Evaluation> BidirectionalEvaluator::Evaluate(
-    const ReachQuery& q) const {
+Result<Evaluation> BidirectionalEvaluator::EvaluateWith(
+    const ReachQuery& q, EvalContext& ctx) const {
   SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
-  const BoundPathExpression& expr = *q.expr;
-  const HopAutomaton nfa(expr);
+  const HopAutomaton& nfa = q.expr->automaton();
   const uint32_t num_states = nfa.NumStates();
-  const size_t n = csr_->NumNodes();
 
   Evaluation out;
   if (nfa.AcceptsEmpty() && q.src == q.dst) {
@@ -21,29 +18,25 @@ Result<Evaluation> BidirectionalEvaluator::Evaluate(
     return out;
   }
 
-  std::vector<uint8_t> visited_f(n * num_states, 0);
-  std::vector<uint8_t> visited_b(n * num_states, 0);
-  std::deque<std::pair<NodeId, uint32_t>> queue_f;
-  std::deque<std::pair<NodeId, uint32_t>> queue_b;
+  QueryScratch& scratch = ctx.scratch;
+  // Forward side: the shared walker over scratch.visited/frontier.
+  ProductWalker forward(*graph_, *csr_, nfa, TraversalOrder::kBfs, scratch,
+                        /*track_parents=*/false);
+  // Backward side: membership + FIFO frontier from the same pool.
+  scratch.visited_back.BeginEpoch(csr_->NumNodes() * size_t{num_states});
+  scratch.frontier_back.clear();
+  size_t head_back = 0;
   bool met = false;
 
-  auto push_f = [&](NodeId node, uint32_t state) {
+  auto push_back_side = [&](NodeId node, uint32_t state) {
     const size_t id = ProductConfigId(node, state, num_states);
-    if (visited_f[id]) return;
-    visited_f[id] = 1;
-    if (visited_b[id]) met = true;
-    queue_f.emplace_back(node, state);
-  };
-  auto push_b = [&](NodeId node, uint32_t state) {
-    const size_t id = ProductConfigId(node, state, num_states);
-    if (visited_b[id]) return;
-    visited_b[id] = 1;
-    if (visited_f[id]) met = true;
-    queue_b.emplace_back(node, state);
+    if (!scratch.visited_back.Insert(id)) return;
+    if (forward.Visited(node, state)) met = true;
+    scratch.frontier_back.push_back(ProductConfig{node, state});
   };
 
   // Forward seeds: the start closure at the source.
-  for (uint32_t s : nfa.StartStates()) push_f(q.src, s);
+  forward.SeedStarts(q.src);
 
   // Backward seeds: configurations whose next edge can land on dst and
   // accept. The destination must pass the final step's filter.
@@ -54,61 +47,66 @@ Result<Evaluation> BidirectionalEvaluator::Evaluate(
     // node that can finish the run in state s.
     const auto entries = step.backward ? csr_->OutWithLabel(q.dst, step.label)
                                        : csr_->InWithLabel(q.dst, step.label);
-    for (const CsrSnapshot::Entry& e : entries) push_b(e.other, s);
+    for (const CsrSnapshot::Entry& e : entries) push_back_side(e.other, s);
   }
 
-  while (!met && (!queue_f.empty() || !queue_b.empty())) {
+  auto on_accept = [&](NodeId entered, NodeId, uint32_t) {
+    if (entered != q.dst) return false;
+    met = true;
+    return true;
+  };
+  auto on_push = [&](NodeId node, uint32_t state) {
+    if (!scratch.visited_back.Contains(
+            ProductConfigId(node, state, num_states))) {
+      return false;
+    }
+    met = true;
+    return true;
+  };
+
+  uint64_t backward_visited = 0;
+  while (!met && (forward.Remaining() > 0 ||
+                  head_back < scratch.frontier_back.size())) {
+    const size_t remaining_back = scratch.frontier_back.size() - head_back;
     const bool expand_forward =
-        !queue_f.empty() &&
-        (queue_b.empty() || queue_f.size() <= queue_b.size());
+        forward.Remaining() > 0 &&
+        (remaining_back == 0 || forward.Remaining() <= remaining_back);
     if (expand_forward) {
-      auto [u, s] = queue_f.front();
-      queue_f.pop_front();
-      ++out.stats.pairs_visited;
-      const BoundStep& step = nfa.StepSpec(s);
-      const auto entries = step.backward
-                               ? csr_->InWithLabel(u, step.label)
-                               : csr_->OutWithLabel(u, step.label);
-      for (const CsrSnapshot::Entry& e : entries) {
-        const NodeId w = e.other;
-        if (!BoundPathExpression::NodePasses(*graph_, w, step)) continue;
-        if (w == q.dst && nfa.AcceptsAfterEdge(s)) {
-          met = true;
-          break;
-        }
-        for (uint32_t t : nfa.TargetsAfterEdge(s)) push_f(w, t);
-        if (met) break;
-      }
+      forward.Step(on_accept, on_push);
     } else {
-      auto [v, t] = queue_b.front();
-      queue_b.pop_front();
-      ++out.stats.pairs_visited;
-      // Predecessor configs (u, s): consuming one `s`-edge from u enters v
-      // and transitions into t.
-      for (uint32_t s : nfa.SourcesIntoState(t)) {
+      const ProductConfig c = scratch.frontier_back[head_back++];
+      ++backward_visited;
+      // Predecessor configs (u, s): consuming one `s`-edge from u enters
+      // c.node and transitions into c.state.
+      for (uint32_t s : nfa.SourcesIntoState(c.state)) {
         const BoundStep& step = nfa.StepSpec(s);
-        if (!BoundPathExpression::NodePasses(*graph_, v, step)) continue;
+        if (!BoundPathExpression::NodePasses(*graph_, c.node, step)) continue;
         const auto entries = step.backward
-                                 ? csr_->OutWithLabel(v, step.label)
-                                 : csr_->InWithLabel(v, step.label);
+                                 ? csr_->OutWithLabel(c.node, step.label)
+                                 : csr_->InWithLabel(c.node, step.label);
         for (const CsrSnapshot::Entry& e : entries) {
-          push_b(e.other, s);
+          push_back_side(e.other, s);
           if (met) break;
         }
         if (met) break;
       }
     }
   }
+  out.stats.pairs_visited = forward.pairs_visited() + backward_visited;
 
   out.granted = met;
   if (met && q.want_witness) {
-    // Membership sets cannot reproduce the path; rerun a forward search
-    // for the witness and fold its work into the stats.
-    OnlineEvaluator forward(*graph_, *csr_, TraversalOrder::kBfs);
-    auto r = forward.Evaluate(q);
-    if (r.ok() && r->granted) {
-      out.witness = std::move(r->witness);
-      out.stats.pairs_visited += r->stats.pairs_visited;
+    // Membership sets cannot reproduce the path; rerun the shared forward
+    // search for the witness (reusing this context's scratch — the
+    // bidirectional pass is done with it) and fold its work into the
+    // stats.
+    Evaluation rerun =
+        ForwardProductSearch(*graph_, *csr_, nfa, q.src, q.dst,
+                             TraversalOrder::kBfs, /*want_witness=*/true,
+                             scratch);
+    if (rerun.granted) {
+      out.witness = std::move(rerun.witness);
+      out.stats.pairs_visited += rerun.stats.pairs_visited;
     }
   }
   return out;

@@ -5,16 +5,17 @@
 /// \brief Bidirectional online search: frontiers from both endpoints.
 ///
 /// Forward frontier: configurations (node, state) reachable from the
-/// source, exactly as OnlineEvaluator explores them. Backward frontier:
-/// configurations from which the destination is reachable in an accepting
-/// run, grown over reversed edges and the reversed automaton. The query
-/// is granted as soon as the frontiers intersect. Each round expands the
-/// smaller frontier, which squeezes the exponential-ish ball radius from
-/// r to ~r/2 on both sides — the classic win on low-diameter social
-/// graphs.
+/// source, grown by the shared ProductWalker exactly as OnlineEvaluator
+/// grows them. Backward frontier: configurations from which the
+/// destination is reachable in an accepting run, grown over reversed
+/// edges and the reversed automaton. The query is granted as soon as the
+/// frontiers intersect. Each round expands the smaller frontier, which
+/// squeezes the exponential-ish ball radius from r to ~r/2 on both sides
+/// — the classic win on low-diameter social graphs.
 ///
-/// Witness extraction re-runs a forward search when requested; the
-/// bidirectional pass itself only keeps membership sets.
+/// Witness extraction re-runs the shared forward search (on the same
+/// scratch pool) when requested; the bidirectional pass itself only
+/// keeps membership sets.
 
 #include "core/automaton.h"
 #include "graph/csr.h"
@@ -27,9 +28,11 @@ class BidirectionalEvaluator : public Evaluator {
   BidirectionalEvaluator(const SocialGraph& graph, const CsrSnapshot& csr)
       : graph_(&graph), csr_(&csr) {}
 
-  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
-
   std::string_view name() const override { return "online-bidirectional"; }
+
+ protected:
+  Result<Evaluation> EvaluateWith(const ReachQuery& q,
+                                  EvalContext& ctx) const override;
 
  private:
   const SocialGraph* graph_;

@@ -2,8 +2,8 @@
 
 namespace sargus {
 
-Result<Evaluation> ClosurePrefilterEvaluator::Evaluate(
-    const ReachQuery& q) const {
+Result<Evaluation> ClosurePrefilterEvaluator::EvaluateWith(
+    const ReachQuery& q, EvalContext& ctx) const {
   // The prefilter is only sound when the closure over-approximates the
   // expression's edge orientations, and only applicable when the query
   // is plausibly valid for the graph the closure covers — anything else
@@ -21,7 +21,7 @@ Result<Evaluation> ClosurePrefilterEvaluator::Evaluate(
     denied.stats.prefilter_rejections = 1;
     return denied;
   }
-  return inner_->Evaluate(q);
+  return inner_->Evaluate(q, ctx);
 }
 
 }  // namespace sargus

@@ -25,9 +25,11 @@ class ClosurePrefilterEvaluator : public Evaluator {
                             const Evaluator& inner)
       : closure_(&closure), inner_(&inner) {}
 
-  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
-
   std::string_view name() const override { return "closure-prefilter"; }
+
+ protected:
+  Result<Evaluation> EvaluateWith(const ReachQuery& q,
+                                  EvalContext& ctx) const override;
 
  private:
   const TransitiveClosure* closure_;

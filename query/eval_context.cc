@@ -1,0 +1,10 @@
+#include "query/eval_context.h"
+
+namespace sargus {
+
+EvalContext& ThreadLocalEvalContext() {
+  thread_local EvalContext ctx;
+  return ctx;
+}
+
+}  // namespace sargus

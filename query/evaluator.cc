@@ -1,6 +1,12 @@
 #include "query/evaluator.h"
 
+#include "query/eval_context.h"
+
 namespace sargus {
+
+Result<Evaluation> Evaluator::Evaluate(const ReachQuery& q) const {
+  return EvaluateWith(q, ThreadLocalEvalContext());
+}
 
 Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph) {
   if (q.expr == nullptr) {

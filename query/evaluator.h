@@ -21,6 +21,8 @@
 
 namespace sargus {
 
+struct EvalContext;
+
 struct ReachQuery {
   NodeId src = 0;
   NodeId dst = 0;
@@ -56,14 +58,28 @@ class Evaluator {
  public:
   virtual ~Evaluator() = default;
 
-  /// Decides `q`. Statuses: kInvalidArgument for null/foreign expressions
-  /// or out-of-range endpoints; kFailedPrecondition when the evaluator's
-  /// index lacks a capability the expression needs (backward steps without
-  /// a backward line graph); kResourceExhausted when a configured work cap
-  /// was exceeded.
-  virtual Result<Evaluation> Evaluate(const ReachQuery& q) const = 0;
+  /// Decides `q` using this thread's pooled scratch (thread-safe: any
+  /// number of threads may call Evaluate on one shared const evaluator;
+  /// each gets its own scratch). Statuses: kInvalidArgument for
+  /// null/foreign expressions or out-of-range endpoints;
+  /// kFailedPrecondition when the evaluator's index lacks a capability
+  /// the expression needs (backward steps without a backward line graph);
+  /// kResourceExhausted when a configured work cap was exceeded.
+  Result<Evaluation> Evaluate(const ReachQuery& q) const;
+
+  /// Same, with caller-owned scratch. `ctx` must not be shared between
+  /// concurrently running Evaluate calls; reusing one context across
+  /// back-to-back queries is the zero-allocation steady state.
+  Result<Evaluation> Evaluate(const ReachQuery& q, EvalContext& ctx) const {
+    return EvaluateWith(q, ctx);
+  }
 
   virtual std::string_view name() const = 0;
+
+ protected:
+  /// Strategy implementation; may use (and grow) `ctx.scratch` freely.
+  virtual Result<Evaluation> EvaluateWith(const ReachQuery& q,
+                                          EvalContext& ctx) const = 0;
 };
 
 /// Shared argument validation; returns non-OK to propagate.

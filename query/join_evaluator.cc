@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "query/eval_context.h"
+
 namespace sargus {
 
-Result<Evaluation> JoinIndexEvaluator::Evaluate(const ReachQuery& q) const {
+Result<Evaluation> JoinIndexEvaluator::EvaluateWith(const ReachQuery& q,
+                                                    EvalContext& ctx) const {
   SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
   const BoundPathExpression& expr = *q.expr;
   if (expr.HasBackwardStep() && !lg_->includes_backward()) {
@@ -35,7 +38,7 @@ Result<Evaluation> JoinIndexEvaluator::Evaluate(const ReachQuery& q) const {
         hops.push_back(Hop{steps[i].label, steps[i].backward, &steps[i]});
       }
     }
-    auto matched = EvaluateSequence(q, hops, &out);
+    auto matched = EvaluateSequence(q, hops, ctx, &out);
     if (!matched.ok()) return matched.status();
     if (*matched) {
       out.granted = true;
@@ -55,6 +58,7 @@ Result<Evaluation> JoinIndexEvaluator::Evaluate(const ReachQuery& q) const {
 
 Result<bool> JoinIndexEvaluator::EvaluateSequence(const ReachQuery& q,
                                                   const std::vector<Hop>& hops,
+                                                  EvalContext& ctx,
                                                   Evaluation* eval) const {
   // Feasibility prune via the cluster index's label-pair summary:
   // consecutive hops must at least be reachability-compatible.
@@ -66,18 +70,24 @@ Result<bool> JoinIndexEvaluator::EvaluateSequence(const ReachQuery& q,
     }
   }
   return options_.faithful_post_filter ? FaithfulJoin(q, hops, eval)
-                                       : AdjacencyJoin(q, hops, eval);
+                                       : AdjacencyJoin(q, hops, ctx, eval);
 }
 
 Result<bool> JoinIndexEvaluator::AdjacencyJoin(const ReachQuery& q,
                                                const std::vector<Hop>& hops,
+                                               EvalContext& ctx,
                                                Evaluation* eval) const {
-  // Frontier of line vertices after each hop, deduplicated per hop.
+  // Frontier of line vertices after each hop, deduplicated per hop via
+  // the pooled epoch set (one epoch per hop — an O(1) reset, where the
+  // seed code re-zeroed an O(|line vertices|) array per sequence).
   // Parents are kept only when a witness was requested.
   const size_t m = hops.size();
-  std::vector<LineVertexId> frontier;
-  std::vector<LineVertexId> next;
-  std::vector<uint8_t> seen(lg_->NumVertices(), 0);
+  QueryScratch& scratch = ctx.scratch;
+  std::vector<LineVertexId>& frontier = scratch.line_frontier;
+  std::vector<LineVertexId>& next = scratch.line_next;
+  frontier.clear();
+  EpochStampSet& seen = scratch.line_seen;
+  seen.BeginEpoch(lg_->NumVertices());
   std::vector<std::vector<LineVertexId>> parents;  // per hop, per vertex pos
   std::vector<std::vector<LineVertexId>> frontiers;
   const bool track = q.want_witness;
@@ -99,8 +109,7 @@ Result<bool> JoinIndexEvaluator::AdjacencyJoin(const ReachQuery& q,
       }
       continue;
     }
-    if (seen[lv]) continue;
-    seen[lv] = 1;
+    if (!seen.Insert(lv)) continue;
     frontier.push_back(lv);
     ++eval->stats.tuples_generated;
   }
@@ -112,7 +121,7 @@ Result<bool> JoinIndexEvaluator::AdjacencyJoin(const ReachQuery& q,
   }
 
   for (size_t i = 1; i < m; ++i) {
-    for (LineVertexId lv : frontier) seen[lv] = 0;
+    seen.BeginEpoch(lg_->NumVertices());  // fresh dedup scope for this hop
     next.clear();
     std::vector<LineVertexId> next_parents;
     const bool last = (i + 1 == m);
@@ -145,8 +154,7 @@ Result<bool> JoinIndexEvaluator::AdjacencyJoin(const ReachQuery& q,
           }
           continue;
         }
-        if (seen[nx]) continue;
-        seen[nx] = 1;
+        if (!seen.Insert(nx)) continue;
         next.push_back(nx);
         if (track) next_parents.push_back(static_cast<LineVertexId>(fpos));
         ++eval->stats.tuples_generated;

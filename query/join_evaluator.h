@@ -59,12 +59,14 @@ class JoinIndexEvaluator : public Evaluator {
         tables_(&tables),
         options_(options) {}
 
-  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
-
   std::string_view name() const override {
     return options_.faithful_post_filter ? "join-index-faithful"
                                          : "join-index";
   }
+
+ protected:
+  Result<Evaluation> EvaluateWith(const ReachQuery& q,
+                                  EvalContext& ctx) const override;
 
  private:
   struct Hop {
@@ -76,9 +78,9 @@ class JoinIndexEvaluator : public Evaluator {
   /// Evaluates one concrete sequence; appends to `eval`'s stats.
   Result<bool> EvaluateSequence(const ReachQuery& q,
                                 const std::vector<Hop>& hops,
-                                Evaluation* eval) const;
+                                EvalContext& ctx, Evaluation* eval) const;
   Result<bool> AdjacencyJoin(const ReachQuery& q, const std::vector<Hop>& hops,
-                             Evaluation* eval) const;
+                             EvalContext& ctx, Evaluation* eval) const;
   Result<bool> FaithfulJoin(const ReachQuery& q, const std::vector<Hop>& hops,
                             Evaluation* eval) const;
 

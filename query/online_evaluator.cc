@@ -1,96 +1,14 @@
 #include "query/online_evaluator.h"
 
-#include <algorithm>
-#include <deque>
+#include "query/eval_context.h"
 
 namespace sargus {
 
-Result<Evaluation> OnlineEvaluator::Evaluate(const ReachQuery& q) const {
+Result<Evaluation> OnlineEvaluator::EvaluateWith(const ReachQuery& q,
+                                                 EvalContext& ctx) const {
   SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
-  const BoundPathExpression& expr = *q.expr;
-  const HopAutomaton nfa(expr);
-  const uint32_t num_states = nfa.NumStates();
-  const size_t n = csr_->NumNodes();
-
-  Evaluation out;
-  if (nfa.AcceptsEmpty() && q.src == q.dst) {
-    out.granted = true;
-    if (q.want_witness) out.witness = {q.src};
-    return out;
-  }
-
-  std::vector<uint8_t> visited(n * num_states, 0);
-  // Parent chain for witness reconstruction: previous config + the node
-  // that edge came from (parent config's node, kept for clarity).
-  struct Parent {
-    NodeId node = kInvalidNode;
-    uint32_t state = 0;
-  };
-  std::vector<Parent> parents;
-  if (q.want_witness) parents.resize(n * num_states);
-
-  std::deque<std::pair<NodeId, uint32_t>> frontier;
-  auto push = [&](NodeId node, uint32_t state, NodeId from_node,
-                  uint32_t from_state) {
-    const size_t id = ProductConfigId(node, state, num_states);
-    if (visited[id]) return;
-    visited[id] = 1;
-    if (q.want_witness) parents[id] = Parent{from_node, from_state};
-    frontier.emplace_back(node, state);
-  };
-
-  for (uint32_t s : nfa.StartStates()) {
-    push(q.src, s, kInvalidNode, 0);
-  }
-
-  auto witness_from = [&](NodeId final_node, NodeId at, uint32_t state) {
-    // Chain: src ... at, then the final edge to final_node.
-    std::vector<NodeId> path{final_node, at};
-    NodeId cur_node = at;
-    uint32_t cur_state = state;
-    while (true) {
-      const Parent& p = parents[ProductConfigId(cur_node, cur_state, num_states)];
-      if (p.node == kInvalidNode) break;
-      // Every parent link is exactly one consumed edge, so repeated
-      // nodes (self-loops) are legitimate path entries.
-      path.push_back(p.node);
-      cur_node = p.node;
-      cur_state = p.state;
-    }
-    std::reverse(path.begin(), path.end());
-    return path;
-  };
-
-  while (!frontier.empty()) {
-    NodeId u;
-    uint32_t s;
-    if (order_ == TraversalOrder::kBfs) {
-      std::tie(u, s) = frontier.front();
-      frontier.pop_front();
-    } else {
-      std::tie(u, s) = frontier.back();
-      frontier.pop_back();
-    }
-    ++out.stats.pairs_visited;
-
-    const BoundStep& step = nfa.StepSpec(s);
-    const auto entries = step.backward
-                             ? csr_->InWithLabel(u, step.label)
-                             : csr_->OutWithLabel(u, step.label);
-    for (const CsrSnapshot::Entry& e : entries) {
-      const NodeId w = e.other;
-      if (!BoundPathExpression::NodePasses(*graph_, w, step)) continue;
-      if (w == q.dst && nfa.AcceptsAfterEdge(s)) {
-        out.granted = true;
-        if (q.want_witness) out.witness = witness_from(w, u, s);
-        return out;
-      }
-      for (uint32_t t : nfa.TargetsAfterEdge(s)) {
-        push(w, t, u, s);
-      }
-    }
-  }
-  return out;
+  return ForwardProductSearch(*graph_, *csr_, q.expr->automaton(), q.src,
+                              q.dst, order_, q.want_witness, ctx.scratch);
 }
 
 }  // namespace sargus

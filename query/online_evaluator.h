@@ -9,14 +9,16 @@
 /// source, BFS or DFS order, stopping the moment the destination is
 /// reached in an accepting configuration. No precomputation: immune to
 /// graph churn (rebuild the CSR and go), pays full exploration on denies.
+/// The traversal itself is the shared ProductWalker; per-query state
+/// comes from the EvalContext scratch pool, so steady-state cost is
+/// O(work touched), not O(|V|).
 
 #include "core/automaton.h"
 #include "graph/csr.h"
 #include "query/evaluator.h"
+#include "query/product_walker.h"
 
 namespace sargus {
-
-enum class TraversalOrder { kBfs, kDfs };
 
 class OnlineEvaluator : public Evaluator {
  public:
@@ -26,11 +28,13 @@ class OnlineEvaluator : public Evaluator {
                   TraversalOrder order = TraversalOrder::kBfs)
       : graph_(&graph), csr_(&csr), order_(order) {}
 
-  Result<Evaluation> Evaluate(const ReachQuery& q) const override;
-
   std::string_view name() const override {
     return order_ == TraversalOrder::kBfs ? "online-bfs" : "online-dfs";
   }
+
+ protected:
+  Result<Evaluation> EvaluateWith(const ReachQuery& q,
+                                  EvalContext& ctx) const override;
 
  private:
   const SocialGraph* graph_;

@@ -1,0 +1,167 @@
+#ifndef SARGUS_QUERY_PRODUCT_WALKER_H_
+#define SARGUS_QUERY_PRODUCT_WALKER_H_
+
+/// \file product_walker.h
+/// \brief ProductWalker: the one product-space (graph node × automaton
+/// state) traversal the whole system shares.
+///
+/// The grant semantics of a traversal — visited indexing, start-closure
+/// seeding, per-step edge orientation, attribute-filter checks, the
+/// accept-after-edge test, parent chains for witnesses — used to be
+/// hand-rolled three times (online evaluator, bidirectional forward side,
+/// audience collector). They now live here, once: callers differ only in
+/// what they do when an edge lands in an accepting configuration
+/// (on_accept) and when a fresh configuration is pushed (on_push, used by
+/// bidirectional search to detect frontier intersection).
+///
+/// All transient state lives in the caller's QueryScratch: the walker
+/// itself is a cheap view object constructed per query. Constructing it
+/// opens a new epoch on `scratch.visited` and truncates the frontier —
+/// O(1) in steady state, never an O(|V|·states) allocation.
+
+#include <vector>
+
+#include "core/automaton.h"
+#include "graph/csr.h"
+#include "query/eval_context.h"
+#include "query/evaluator.h"
+
+namespace sargus {
+
+enum class TraversalOrder { kBfs, kDfs };
+
+class ProductWalker {
+ public:
+  /// Opens a fresh walk over `scratch`. `graph`, `csr`, `nfa` and
+  /// `scratch` must outlive the walker; `csr` must snapshot `graph` and
+  /// `nfa` must be compiled from an expression bound to it. With
+  /// `track_parents`, parent links are recorded for BuildWitness.
+  ProductWalker(const SocialGraph& graph, const CsrSnapshot& csr,
+                const HopAutomaton& nfa, TraversalOrder order,
+                QueryScratch& scratch, bool track_parents)
+      : graph_(&graph),
+        csr_(&csr),
+        nfa_(&nfa),
+        scratch_(&scratch),
+        order_(order),
+        track_parents_(track_parents),
+        num_states_(nfa.NumStates()) {
+    scratch.visited.BeginEpoch(csr.NumNodes() * size_t{num_states_});
+    if (track_parents_ &&
+        scratch.parents.size() < csr.NumNodes() * size_t{num_states_}) {
+      scratch.parents.resize(csr.NumNodes() * size_t{num_states_});
+    }
+    scratch.frontier.clear();
+  }
+
+  /// Seeds the automaton's start closure at `node` (parents marked as
+  /// search roots).
+  void SeedStarts(NodeId node) {
+    for (uint32_t s : nfa_->StartStates()) {
+      Push(node, s, kInvalidNode, 0);
+    }
+  }
+
+  /// Marks (node, state) visited and enqueues it; returns true when the
+  /// configuration is fresh this walk.
+  bool Push(NodeId node, uint32_t state, NodeId from, uint32_t from_state) {
+    const size_t id = ProductConfigId(node, state, num_states_);
+    if (!scratch_->visited.Insert(id)) return false;
+    if (track_parents_) scratch_->parents[id] = ProductParent{from, from_state};
+    scratch_->frontier.push_back(ProductConfig{node, state});
+    return true;
+  }
+
+  bool Visited(NodeId node, uint32_t state) const {
+    return scratch_->visited.Contains(
+        ProductConfigId(node, state, num_states_));
+  }
+
+  /// Configurations still awaiting expansion.
+  size_t Remaining() const {
+    return order_ == TraversalOrder::kBfs
+               ? scratch_->frontier.size() - head_
+               : scratch_->frontier.size();
+  }
+
+  /// Pops one configuration and expands it. For every outgoing (or, for
+  /// backward steps, incoming) edge whose far node passes the step
+  /// filter:
+  ///   * when the successor closure accepts, `on_accept(entered, from,
+  ///     from_state)` runs first — returning true stops the walk (the
+  ///     entered node is a match endpoint);
+  ///   * each fresh successor configuration is pushed; `on_push(node,
+  ///     state)` runs on fresh pushes and may also stop the walk.
+  /// Returns true when a callback stopped the walk.
+  template <typename OnAcceptEdge, typename OnFreshPush>
+  bool Step(OnAcceptEdge&& on_accept, OnFreshPush&& on_push) {
+    ProductConfig c;
+    if (order_ == TraversalOrder::kBfs) {
+      c = scratch_->frontier[head_++];
+    } else {
+      c = scratch_->frontier.back();
+      scratch_->frontier.pop_back();
+    }
+    ++pairs_visited_;
+
+    const BoundStep& step = nfa_->StepSpec(c.state);
+    const auto entries = step.backward
+                             ? csr_->InWithLabel(c.node, step.label)
+                             : csr_->OutWithLabel(c.node, step.label);
+    const bool accepts = nfa_->AcceptsAfterEdge(c.state);
+    const auto& targets = nfa_->TargetsAfterEdge(c.state);
+    for (const CsrSnapshot::Entry& e : entries) {
+      const NodeId w = e.other;
+      if (!BoundPathExpression::NodePasses(*graph_, w, step)) continue;
+      if (accepts && on_accept(w, c.node, c.state)) return true;
+      for (uint32_t t : targets) {
+        if (Push(w, t, c.node, c.state) && on_push(w, t)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Runs to exhaustion or until `on_accept` stops the walk; returns true
+  /// in the latter case.
+  template <typename OnAcceptEdge>
+  bool Run(OnAcceptEdge&& on_accept) {
+    auto no_push_stop = [](NodeId, uint32_t) { return false; };
+    while (Remaining() > 0) {
+      if (Step(on_accept, no_push_stop)) return true;
+    }
+    return false;
+  }
+
+  uint64_t pairs_visited() const { return pairs_visited_; }
+
+  /// Witness path src ... final_node, given the accepting edge
+  /// (at, state) -> final_node. Requires track_parents.
+  std::vector<NodeId> BuildWitness(NodeId final_node, NodeId at,
+                                   uint32_t state) const;
+
+ private:
+  const SocialGraph* graph_;
+  const CsrSnapshot* csr_;
+  const HopAutomaton* nfa_;
+  QueryScratch* scratch_;
+  TraversalOrder order_;
+  bool track_parents_;
+  uint32_t num_states_;
+  size_t head_ = 0;
+  uint64_t pairs_visited_ = 0;
+};
+
+/// The complete forward product-space search both OnlineEvaluator and
+/// BidirectionalEvaluator's witness reconstruction run: seed at `src`,
+/// walk in `order`, grant on reaching `dst` in an accepting
+/// configuration, optionally reconstructing the witness path. Validation
+/// is the caller's job (ValidateQuery).
+Evaluation ForwardProductSearch(const SocialGraph& graph,
+                                const CsrSnapshot& csr,
+                                const HopAutomaton& nfa, NodeId src,
+                                NodeId dst, TraversalOrder order,
+                                bool want_witness, QueryScratch& scratch);
+
+}  // namespace sargus
+
+#endif  // SARGUS_QUERY_PRODUCT_WALKER_H_

@@ -3,50 +3,38 @@
 #include <algorithm>
 
 #include "core/automaton.h"
+#include "query/eval_context.h"
+#include "query/product_walker.h"
 
 namespace sargus {
 
 std::vector<NodeId> CollectMatchingAudience(const SocialGraph& g,
                                             const CsrSnapshot& csr,
                                             const BoundPathExpression& expr,
-                                            NodeId src) {
+                                            NodeId src, EvalContext* ctx) {
   if (expr.graph() != &g || src >= csr.NumNodes() || expr.steps().empty()) {
     return {};
   }
-  const HopAutomaton nfa(expr);
-  const uint32_t num_states = nfa.NumStates();
-  const size_t n = csr.NumNodes();
+  QueryScratch& scratch =
+      (ctx != nullptr ? *ctx : ThreadLocalEvalContext()).scratch;
+  const HopAutomaton& nfa = expr.automaton();
 
-  std::vector<uint8_t> visited(n * num_states, 0);
-  std::vector<uint8_t> in_audience(n, 0);
-  if (nfa.AcceptsEmpty()) in_audience[src] = 1;
-
-  std::vector<std::pair<NodeId, uint32_t>> queue;
-  auto push = [&](NodeId node, uint32_t state) {
-    const size_t id = ProductConfigId(node, state, num_states);
-    if (visited[id]) return;
-    visited[id] = 1;
-    queue.emplace_back(node, state);
-  };
-  for (uint32_t s : nfa.StartStates()) push(src, s);
-
-  for (size_t head = 0; head < queue.size(); ++head) {
-    const auto [u, s] = queue[head];
-    const BoundStep& step = nfa.StepSpec(s);
-    const auto entries = step.backward ? csr.InWithLabel(u, step.label)
-                                       : csr.OutWithLabel(u, step.label);
-    for (const CsrSnapshot::Entry& e : entries) {
-      const NodeId w = e.other;
-      if (!BoundPathExpression::NodePasses(g, w, step)) continue;
-      if (nfa.AcceptsAfterEdge(s)) in_audience[w] = 1;
-      for (uint32_t t : nfa.TargetsAfterEdge(s)) push(w, t);
-    }
-  }
-
+  scratch.node_marks.BeginEpoch(csr.NumNodes());
   std::vector<NodeId> audience;
-  for (NodeId v = 0; v < n; ++v) {
-    if (in_audience[v]) audience.push_back(v);
-  }
+  auto mark = [&](NodeId v) {
+    if (scratch.node_marks.Insert(v)) audience.push_back(v);
+  };
+  if (nfa.AcceptsEmpty()) mark(src);
+
+  ProductWalker walker(g, csr, nfa, TraversalOrder::kBfs, scratch,
+                       /*track_parents=*/false);
+  walker.SeedStarts(src);
+  walker.Run([&](NodeId entered, NodeId, uint32_t) {
+    mark(entered);
+    return false;  // collect the whole audience, never stop early
+  });
+
+  std::sort(audience.begin(), audience.end());
   return audience;
 }
 

@@ -19,14 +19,19 @@
 
 namespace sargus {
 
+struct EvalContext;
+
 /// All nodes reachable from `src` through a path matching `expr`
 /// (i.e. every dst for which access would be granted), sorted ascending.
 /// The expression must be bound against `g`; `csr` must snapshot `g`.
-/// Returns empty on any argument mismatch.
+/// Returns empty on any argument mismatch. Traversal scratch comes from
+/// `ctx` when given, this thread's pooled context otherwise — repeated
+/// calls reuse it instead of allocating O(|V|·states) arrays each time.
 std::vector<NodeId> CollectMatchingAudience(const SocialGraph& g,
                                             const CsrSnapshot& csr,
                                             const BoundPathExpression& expr,
-                                            NodeId src);
+                                            NodeId src,
+                                            EvalContext* ctx = nullptr);
 
 }  // namespace sargus
 
