@@ -13,12 +13,23 @@ AccessControlEngine::AccessControlEngine(const SocialGraph& graph,
                                          EngineOptions options)
     : graph_(&graph), store_(&store), options_(options) {}
 
+AccessControlEngine::AccessControlEngine(SocialGraph& graph,
+                                         const PolicyStore& store,
+                                         EngineOptions options)
+    : graph_(&graph),
+      mutable_graph_(&graph),
+      store_(&store),
+      options_(options) {}
+
 AccessControlEngine::~AccessControlEngine() = default;
 
 Status AccessControlEngine::RebuildIndexes() {
   built_ = false;
   compiled_rules_.clear();
   prefiltered_.clear();
+  // The overlay is relative to the snapshot being replaced; staged
+  // mutations that should survive must go through Compact() instead.
+  overlay_.Clear();
   csr_ = CsrSnapshot::Build(*graph_);
 
   // The join-index stack (line graph, oracle, cluster index, tables) is
@@ -54,11 +65,15 @@ Status AccessControlEngine::RebuildIndexes() {
     closure_.reset();
   }
 
-  online_bfs_ = std::make_unique<OnlineEvaluator>(*graph_, csr_,
-                                                  TraversalOrder::kBfs);
-  online_dfs_ = std::make_unique<OnlineEvaluator>(*graph_, csr_,
-                                                  TraversalOrder::kDfs);
-  bidirectional_ = std::make_unique<BidirectionalEvaluator>(*graph_, csr_);
+  // Traversal evaluators are overlay-aware: they read the engine's
+  // overlay on every neighbor expansion, so staged mutations are visible
+  // to the next query with no rewiring (an empty overlay is one branch).
+  online_bfs_ = std::make_unique<OnlineEvaluator>(
+      *graph_, csr_, TraversalOrder::kBfs, &overlay_);
+  online_dfs_ = std::make_unique<OnlineEvaluator>(
+      *graph_, csr_, TraversalOrder::kDfs, &overlay_);
+  bidirectional_ =
+      std::make_unique<BidirectionalEvaluator>(*graph_, csr_, &overlay_);
 
   // Eager policy binding: every rule known to the store is bound, its
   // automaton compiled (inside Bind) and its evaluator picked now, so
@@ -68,6 +83,7 @@ Status AccessControlEngine::RebuildIndexes() {
     (void)EnsureCompiled(id);
   }
   built_ = true;
+  ++snapshot_generation_;
   return OkStatus();
 }
 
@@ -75,12 +91,139 @@ const Evaluator* AccessControlEngine::WithPrefilter(const Evaluator* base) {
   if (closure_ == nullptr || base == nullptr) return base;
   auto it = prefiltered_.find(base);
   if (it == prefiltered_.end()) {
+    // Overlay-aware wrapper: the prefilter self-suspends its fast-deny
+    // while pending insertions make closure pruning unsound.
     it = prefiltered_
              .emplace(base, std::make_unique<ClosurePrefilterEvaluator>(
-                                *closure_, *base))
+                                *closure_, *base, &overlay_))
              .first;
   }
   return it->second.get();
+}
+
+// ---- Dynamic mutations ------------------------------------------------------
+
+Status AccessControlEngine::CheckMutable() const {
+  if (mutable_graph_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation requires the mutable-graph constructor (compaction must "
+        "write the SocialGraph)");
+  }
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "mutation staged against no snapshot: call RebuildIndexes() first");
+  }
+  return OkStatus();
+}
+
+// Walker visited arrays are sized to the snapshot, so staged endpoints
+// must exist in it (nodes added after the rebuild need a rebuild).
+Status AccessControlEngine::CheckEndpoints(NodeId src, NodeId dst) const {
+  if (src >= csr_.NumNodes() || dst >= csr_.NumNodes()) {
+    return Status::InvalidArgument(
+        "edge mutation: endpoint outside the current snapshot");
+  }
+  return OkStatus();
+}
+
+Status AccessControlEngine::AddEdge(NodeId src, NodeId dst,
+                                    const std::string& label) {
+  SARGUS_RETURN_IF_ERROR(CheckMutable());
+  // Validate fully *before* interning: a failed AddEdge must leave the
+  // graph (including its label dictionary) untouched.
+  SARGUS_RETURN_IF_ERROR(CheckEndpoints(src, dst));
+  LabelId id = graph_->labels().Lookup(label);
+  if (id == kInvalidLabel) {
+    id = mutable_graph_->labels().Intern(label);
+    if (id == kInvalidLabel) {
+      return Status::ResourceExhausted("AddEdge: label dictionary full");
+    }
+  }
+  SARGUS_RETURN_IF_ERROR(StageAddEdge(src, dst, id));
+  return MaybeCompact();
+}
+
+Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  SARGUS_RETURN_IF_ERROR(CheckMutable());
+  if (label >= graph_->labels().size()) {
+    return Status::InvalidArgument("AddEdge: unknown label id");
+  }
+  SARGUS_RETURN_IF_ERROR(StageAddEdge(src, dst, label));
+  return MaybeCompact();
+}
+
+Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
+                                       const std::string& label) {
+  SARGUS_RETURN_IF_ERROR(CheckMutable());
+  const LabelId id = graph_->labels().Lookup(label);
+  if (id == kInvalidLabel) {
+    return Status::NotFound("RemoveEdge: unknown label '" + label + "'");
+  }
+  SARGUS_RETURN_IF_ERROR(StageRemoveEdge(src, dst, id));
+  return MaybeCompact();
+}
+
+Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
+  SARGUS_RETURN_IF_ERROR(CheckMutable());
+  if (label >= graph_->labels().size()) {
+    return Status::NotFound("RemoveEdge: unknown label id");
+  }
+  SARGUS_RETURN_IF_ERROR(StageRemoveEdge(src, dst, label));
+  return MaybeCompact();
+}
+
+Status AccessControlEngine::StageAddEdge(NodeId src, NodeId dst,
+                                         LabelId label) {
+  SARGUS_RETURN_IF_ERROR(CheckEndpoints(src, dst));
+  const bool in_base = graph_->FindEdge(src, dst, label).has_value();
+  if (in_base) {
+    // Present in the snapshot: visible unless masked by a staged remove.
+    (void)overlay_.UnstageRemove(src, dst, label);
+    return OkStatus();
+  }
+  (void)overlay_.StageAdd(src, dst, label);  // idempotent
+  return OkStatus();
+}
+
+Status AccessControlEngine::StageRemoveEdge(NodeId src, NodeId dst,
+                                            LabelId label) {
+  if (overlay_.UnstageAdd(src, dst, label)) return OkStatus();
+  const bool in_base = graph_->FindEdge(src, dst, label).has_value();
+  if (!in_base || overlay_.IsStagedRemove(src, dst, label)) {
+    return Status::NotFound("RemoveEdge: no such logical edge");
+  }
+  (void)overlay_.StageRemove(src, dst, label);
+  return OkStatus();
+}
+
+Status AccessControlEngine::MaybeCompact() {
+  if (options_.compact_threshold == 0 ||
+      overlay_.size() < options_.compact_threshold) {
+    return OkStatus();
+  }
+  return Compact();
+}
+
+Status AccessControlEngine::Compact() {
+  SARGUS_RETURN_IF_ERROR(CheckMutable());
+  if (overlay_.empty()) return OkStatus();
+  // Fold the overlay into the system of record. Removals first so an
+  // (unusual) same-triple remove+add sequence cannot resurrect the
+  // tombstoned slot's id ordering assumptions.
+  Status apply = OkStatus();
+  overlay_.ForEachRemoved([&](const DeltaOverlay::EdgeTriple& t) {
+    auto id = mutable_graph_->FindEdge(t.src, t.dst, t.label);
+    if (!id.has_value()) return;  // base edge vanished externally
+    Status s = mutable_graph_->RemoveEdge(*id);
+    if (apply.ok() && !s.ok()) apply = s;
+  });
+  overlay_.ForEachAdded([&](const DeltaOverlay::EdgeTriple& t) {
+    auto r = mutable_graph_->AddEdge(t.src, t.dst, t.label);
+    if (apply.ok() && !r.ok()) apply = r.status();
+  });
+  if (!apply.ok()) return apply;
+  // RebuildIndexes clears the (now folded-in) overlay and re-snapshots.
+  return RebuildIndexes();
 }
 
 const AccessControlEngine::CompiledRule& AccessControlEngine::EnsureCompiled(
@@ -97,7 +240,14 @@ const AccessControlEngine::CompiledRule& AccessControlEngine::EnsureCompiled(
       cp.bind_status = bound.status();
     } else {
       cp.bound = std::make_unique<BoundPathExpression>(std::move(*bound));
-      cp.evaluator = WithPrefilter(PickEvaluator(*cp.bound));
+      const Evaluator* picked = PickEvaluator(*cp.bound);
+      cp.evaluator = WithPrefilter(picked);
+      // The join index answers over the snapshot alone; while the
+      // overlay is non-empty those answers are stale, so such plans
+      // fall through to overlay-aware online search until Compact().
+      const Evaluator* overlay_base =
+          picked == join_.get() ? online_bfs_.get() : picked;
+      cp.overlay_evaluator = WithPrefilter(overlay_base);
     }
     rule.paths.push_back(std::move(cp));
   }
@@ -148,6 +298,8 @@ Result<AccessDecision> AccessControlEngine::CheckAccess(NodeId requester,
   AccessDecision decision;
   decision.requester = requester;
   decision.resource = resource;
+  decision.snapshot_generation = snapshot_generation_;
+  decision.overlay_version = overlay_.version();
 
   if (res.owner == requester) {
     decision.granted = true;
@@ -165,7 +317,8 @@ Result<AccessDecision> AccessControlEngine::CheckAccess(NodeId requester,
           if (!first_error) first_error = path.bind_status;
           continue;
         }
-        const Evaluator* chosen = path.evaluator;
+        const Evaluator* chosen =
+            overlay_.empty() ? path.evaluator : path.overlay_evaluator;
 
         ReachQuery q{res.owner, requester, path.bound.get(),
                      options_.want_witness};

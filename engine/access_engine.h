@@ -10,11 +10,45 @@
 /// configured, prefilter-wrapped) evaluator, and records the decision in
 /// a bounded audit ring.
 ///
-/// Lifecycle: construct, RebuildIndexes(), serve CheckAccess. After any
-/// graph mutation call RebuildIndexes() again — every index is a snapshot
-/// (the cost model bench_dynamic.cc measures). kOnlineBfs/kOnlineDfs/
-/// kBidirectional only need the CSR; kJoinIndex needs the whole stack and
-/// fails with kFailedPrecondition if it is missing.
+/// Lifecycle: construct, RebuildIndexes(), serve CheckAccess. Graph
+/// mutations go through the engine's AddEdge/RemoveEdge (requires the
+/// mutable-graph constructor): each is an O(1) write to a DeltaOverlay
+/// layered over the current CsrSnapshot, visible to the very next query
+/// — no rebuild (bench_dynamic.cc measures the before/after cost
+/// models). When the overlay exceeds EngineOptions::compact_threshold,
+/// the engine automatically Compact()s: folds the staged mutations into
+/// the SocialGraph, clears the overlay, and rebuilds every snapshot
+/// index. kOnlineBfs/kOnlineDfs/kBidirectional only need the CSR;
+/// kJoinIndex needs the whole stack and fails with kFailedPrecondition
+/// if it is missing.
+///
+/// Snapshot-consistency contract: the engine owns the pairing between
+/// the snapshot indexes and the overlay. While the overlay is non-empty,
+/// (a) traversal evaluators merge it into every neighbor expansion, (b)
+/// index-based pruning runs in conservative mode (pending insertions
+/// suspend closure fast-denies — see index/prefilter_validity.h), and
+/// (c) queries whose compiled plan picked the join index are re-routed
+/// to overlay-aware online search until the next compaction, so every
+/// evaluator keeps returning the same grant/deny. Mutating the
+/// SocialGraph directly after RebuildIndexes (rather than through the
+/// engine) breaks this pairing; call RebuildIndexes again if you must.
+///
+/// Generation counters: snapshot_generation() increments on every
+/// successful RebuildIndexes (including those triggered by Compact), and
+/// overlay_version() on every staged mutation. Pooled EvalContext /
+/// QueryScratch state needs no explicit invalidation across compactions:
+/// every walk re-opens its epoch sets sized to the *current* snapshot's
+/// product space, so scratch reused across a compaction cannot read
+/// stale visited state — the counters exist so callers (and tests) can
+/// tell which snapshot/overlay state a decision saw.
+///
+/// Thread-safety: the engine is externally synchronized. CheckAccess
+/// mutates the audit ring and the lazy rule-compilation cache, and
+/// AddEdge/RemoveEdge/Compact mutate the overlay and indexes, so no two
+/// engine calls may run concurrently. (The evaluator layer below is
+/// concurrency-safe — a shared const evaluator may serve many threads —
+/// so a concurrent front end can shard engines or wrap this one in a
+/// lock; see ROADMAP.)
 ///
 /// Policy binding happens at RebuildIndexes, keyed by stable RuleId:
 /// every rule path is bound, its hop automaton compiled, and its
@@ -32,6 +66,7 @@
 #include "common/result.h"
 #include "engine/policy.h"
 #include "graph/csr.h"
+#include "graph/delta_overlay.h"
 #include "graph/line_graph.h"
 #include "index/base_tables.h"
 #include "index/cluster_index.h"
@@ -68,6 +103,11 @@ struct EngineOptions {
   JoinIndexOptions join_options;
   /// Decisions kept in the audit ring.
   size_t audit_capacity = 1024;
+  /// Staged overlay mutations (adds + removes) tolerated before
+  /// AddEdge/RemoveEdge triggers an automatic Compact(). 0 disables
+  /// auto-compaction (the overlay then grows until an explicit
+  /// Compact()).
+  size_t compact_threshold = 4096;
 };
 
 struct AccessDecision {
@@ -84,13 +124,26 @@ struct AccessDecision {
   std::vector<NodeId> witness;
   /// name() of the evaluator that produced the final verdict.
   std::string_view evaluator_name;
+  /// Snapshot/overlay state the decision was evaluated against (see the
+  /// generation-counter contract in the file comment).
+  uint64_t snapshot_generation = 0;
+  uint64_t overlay_version = 0;
 };
 
 class AccessControlEngine {
  public:
   /// `graph` and `store` must outlive the engine. The engine never
-  /// mutates either.
+  /// mutates either; AddEdge/RemoveEdge/Compact are unavailable (they
+  /// return kFailedPrecondition) because compaction must write the graph.
   AccessControlEngine(const SocialGraph& graph, const PolicyStore& store,
+                      EngineOptions options = {});
+
+  /// Mutable-graph constructor: enables AddEdge/RemoveEdge/Compact. The
+  /// engine only writes `graph` inside Compact() (applying the staged
+  /// mutations) — with one narrow exception: AddEdge with a label
+  /// *name* not yet interned interns it after full validation
+  /// (snapshot-safe: label ids only grow, so no index observes it).
+  AccessControlEngine(SocialGraph& graph, const PolicyStore& store,
                       EngineOptions options = {});
   ~AccessControlEngine();
 
@@ -98,8 +151,43 @@ class AccessControlEngine {
   AccessControlEngine& operator=(const AccessControlEngine&) = delete;
 
   /// (Re)builds every snapshot index the configuration needs. Call after
-  /// construction and after any graph mutation.
+  /// construction (and after mutating the graph *outside* the engine).
+  /// Discards any staged overlay mutations — the overlay is defined
+  /// relative to the snapshot being replaced; use Compact() to fold
+  /// pending mutations in instead of dropping them.
   Status RebuildIndexes();
+
+  // ---- Dynamic mutations (mutable-graph constructor only) -----------------
+
+  /// Stages edge src -[label]-> dst as added, visible to the next query.
+  /// O(1) unless it trips auto-compaction. Idempotent when the logical
+  /// edge already exists. Interns an unknown label name.
+  /// kInvalidArgument for out-of-range endpoints, kFailedPrecondition
+  /// before RebuildIndexes or on a const-graph engine.
+  Status AddEdge(NodeId src, NodeId dst, const std::string& label);
+  Status AddEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Stages the logical edge src -[label]-> dst as removed (withdrawing
+  /// a pending add, or masking a base edge). kNotFound when the logical
+  /// edge does not exist.
+  Status RemoveEdge(NodeId src, NodeId dst, const std::string& label);
+  Status RemoveEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Folds every staged mutation into the SocialGraph, clears the
+  /// overlay, and rebuilds the snapshot indexes. No-op on an empty
+  /// overlay. Queries before and after see the same logical graph; only
+  /// the cost profile changes (index pruning and the join index come
+  /// back online).
+  Status Compact();
+
+  /// The pending-mutation set (empty once compacted). Stable address for
+  /// the engine's lifetime — evaluators hold pointers to it.
+  const DeltaOverlay& overlay() const { return overlay_; }
+
+  /// Bumped by every successful RebuildIndexes (incl. via Compact).
+  uint64_t snapshot_generation() const { return snapshot_generation_; }
+  /// Forwarded DeltaOverlay::version().
+  uint64_t overlay_version() const { return overlay_.version(); }
 
   /// Decides whether `requester` may access `resource`.
   Result<AccessDecision> CheckAccess(NodeId requester, ResourceId resource);
@@ -120,6 +208,10 @@ class AccessControlEngine {
     Status bind_status = OkStatus();
     std::unique_ptr<BoundPathExpression> bound;
     const Evaluator* evaluator = nullptr;
+    /// Evaluator used while the overlay is non-empty: same as
+    /// `evaluator` for overlay-aware picks, the overlay-aware online
+    /// fallback when the static pick was the (snapshot-only) join index.
+    const Evaluator* overlay_evaluator = nullptr;
   };
   struct CompiledRule {
     bool compiled = false;
@@ -133,11 +225,29 @@ class AccessControlEngine {
   /// Binds + wires every path of `id` once; cheap lookup afterwards.
   const CompiledRule& EnsureCompiled(RuleId id);
 
+  /// Shared AddEdge/RemoveEdge staging logic after label resolution.
+  Status StageAddEdge(NodeId src, NodeId dst, LabelId label);
+  Status StageRemoveEdge(NodeId src, NodeId dst, LabelId label);
+  /// Auto-compaction trigger, called after every successful staging.
+  Status MaybeCompact();
+  /// Mutation-entry guard: mutable graph + built indexes.
+  Status CheckMutable() const;
+  /// Staged endpoints must lie inside the current snapshot.
+  Status CheckEndpoints(NodeId src, NodeId dst) const;
+
   const SocialGraph* graph_;
+  /// Non-null only for the mutable-graph constructor; written solely by
+  /// Compact().
+  SocialGraph* mutable_graph_ = nullptr;
   const PolicyStore* store_;
   EngineOptions options_;
 
   bool built_ = false;
+  uint64_t snapshot_generation_ = 0;
+  /// Pending mutations relative to csr_. Evaluators and prefilter
+  /// wrappers hold its address, so queries observe staged edges without
+  /// any per-mutation rewiring.
+  DeltaOverlay overlay_;
   CsrSnapshot csr_;
   LineGraph lg_;
   std::unique_ptr<LineReachabilityOracle> oracle_;

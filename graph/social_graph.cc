@@ -97,6 +97,13 @@ Result<EdgeId> SocialGraph::AddEdge(NodeId src, NodeId dst, LabelId label) {
   return id;
 }
 
+std::optional<EdgeId> SocialGraph::FindEdge(NodeId src, NodeId dst,
+                                            LabelId label) const {
+  auto it = edge_lookup_.find(EdgeKey{src, dst, label});
+  if (it == edge_lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
 Status SocialGraph::RemoveEdge(EdgeId edge) {
   if (!IsLiveEdge(edge)) {
     return Status::NotFound("RemoveEdge: no live edge in slot");

@@ -91,6 +91,10 @@ class SocialGraph {
   /// Tombstones the edge slot. kNotFound if the slot is dead or invalid.
   Status RemoveEdge(EdgeId edge);
 
+  /// Slot of the live edge (src, dst, label), or nullopt when absent.
+  /// (Duplicate triples are coalesced by AddEdge, so the triple is a key.)
+  std::optional<EdgeId> FindEdge(NodeId src, NodeId dst, LabelId label) const;
+
   /// Number of live edges.
   size_t NumEdges() const { return num_live_edges_; }
 

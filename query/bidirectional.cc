@@ -21,7 +21,7 @@ Result<Evaluation> BidirectionalEvaluator::EvaluateWith(
   QueryScratch& scratch = ctx.scratch;
   // Forward side: the shared walker over scratch.visited/frontier.
   ProductWalker forward(*graph_, *csr_, nfa, TraversalOrder::kBfs, scratch,
-                        /*track_parents=*/false);
+                        /*track_parents=*/false, overlay_);
   // Backward side: membership + FIFO frontier from the same pool.
   scratch.visited_back.BeginEpoch(csr_->NumNodes() * size_t{num_states});
   scratch.frontier_back.clear();
@@ -39,15 +39,18 @@ Result<Evaluation> BidirectionalEvaluator::EvaluateWith(
   forward.SeedStarts(q.src);
 
   // Backward seeds: configurations whose next edge can land on dst and
-  // accept. The destination must pass the final step's filter.
+  // accept. The destination must pass the final step's filter. Edges
+  // entering dst under `step`'s orientation (the reverse of the step's
+  // own traversal direction, overlay merged); their far end is a node
+  // that can finish the run in state s.
   for (uint32_t s : nfa.AcceptingEdgeStates()) {
     const BoundStep& step = nfa.StepSpec(s);
     if (!BoundPathExpression::NodePasses(*graph_, q.dst, step)) continue;
-    // Edges entering dst under `step`'s orientation; their far end is a
-    // node that can finish the run in state s.
-    const auto entries = step.backward ? csr_->OutWithLabel(q.dst, step.label)
-                                       : csr_->InWithLabel(q.dst, step.label);
-    for (const CsrSnapshot::Entry& e : entries) push_back_side(e.other, s);
+    ForEachNeighborEdge(*csr_, overlay_, q.dst, step.label, !step.backward,
+                        [&](NodeId w) {
+                          push_back_side(w, s);
+                          return false;
+                        });
   }
 
   auto on_accept = [&](NodeId entered, NodeId, uint32_t) {
@@ -77,17 +80,15 @@ Result<Evaluation> BidirectionalEvaluator::EvaluateWith(
       const ProductConfig c = scratch.frontier_back[head_back++];
       ++backward_visited;
       // Predecessor configs (u, s): consuming one `s`-edge from u enters
-      // c.node and transitions into c.state.
+      // c.node and transitions into c.state (overlay merged).
       for (uint32_t s : nfa.SourcesIntoState(c.state)) {
         const BoundStep& step = nfa.StepSpec(s);
         if (!BoundPathExpression::NodePasses(*graph_, c.node, step)) continue;
-        const auto entries = step.backward
-                                 ? csr_->OutWithLabel(c.node, step.label)
-                                 : csr_->InWithLabel(c.node, step.label);
-        for (const CsrSnapshot::Entry& e : entries) {
-          push_back_side(e.other, s);
-          if (met) break;
-        }
+        ForEachNeighborEdge(*csr_, overlay_, c.node, step.label,
+                            !step.backward, [&](NodeId w) {
+                              push_back_side(w, s);
+                              return met;
+                            });
         if (met) break;
       }
     }
@@ -103,7 +104,7 @@ Result<Evaluation> BidirectionalEvaluator::EvaluateWith(
     Evaluation rerun =
         ForwardProductSearch(*graph_, *csr_, nfa, q.src, q.dst,
                              TraversalOrder::kBfs, /*want_witness=*/true,
-                             scratch);
+                             scratch, overlay_);
     if (rerun.granted) {
       out.witness = std::move(rerun.witness);
       out.stats.pairs_visited += rerun.stats.pairs_visited;

@@ -19,14 +19,19 @@
 
 #include "core/automaton.h"
 #include "graph/csr.h"
+#include "graph/delta_overlay.h"
 #include "query/evaluator.h"
 
 namespace sargus {
 
 class BidirectionalEvaluator : public Evaluator {
  public:
-  BidirectionalEvaluator(const SocialGraph& graph, const CsrSnapshot& csr)
-      : graph_(&graph), csr_(&csr) {}
+  /// `overlay` (optional) layers pending mutations over `csr` on both
+  /// frontiers; it must be relative to that snapshot and outlive the
+  /// evaluator.
+  BidirectionalEvaluator(const SocialGraph& graph, const CsrSnapshot& csr,
+                         const DeltaOverlay* overlay = nullptr)
+      : graph_(&graph), csr_(&csr), overlay_(overlay) {}
 
   std::string_view name() const override { return "online-bidirectional"; }
 
@@ -37,6 +42,7 @@ class BidirectionalEvaluator : public Evaluator {
  private:
   const SocialGraph* graph_;
   const CsrSnapshot* csr_;
+  const DeltaOverlay* overlay_;
 };
 
 }  // namespace sargus

@@ -1,16 +1,20 @@
 #include "query/closure_prefilter.h"
 
+#include "index/prefilter_validity.h"
+
 namespace sargus {
 
 Result<Evaluation> ClosurePrefilterEvaluator::EvaluateWith(
     const ReachQuery& q, EvalContext& ctx) const {
   // The prefilter is only sound when the closure over-approximates the
-  // expression's edge orientations, and only applicable when the query
-  // is plausibly valid for the graph the closure covers — anything else
-  // is delegated so the inner evaluator can report the proper error
-  // instead of a silent deny.
+  // expression's edge orientations AND the logical graph (pending
+  // overlay insertions break negative pruning — conservatism rule), and
+  // only applicable when the query is plausibly valid for the graph the
+  // closure covers — anything else is delegated so the inner evaluator
+  // can report the proper error instead of a silent deny.
   const bool sound =
       q.expr != nullptr &&
+      PrefilterValidityUnder(overlay_).deny_pruning &&
       (closure_->is_undirected() || !q.expr->HasBackwardStep()) &&
       q.src < closure_->NumNodes() && q.dst < closure_->NumNodes() &&
       q.expr->graph() != nullptr &&

@@ -7,11 +7,18 @@
 /// If the label-blind transitive closure says the destination is not
 /// reachable from the source at all, no labeled/bounded path can exist
 /// either — deny in O(1) without touching the inner evaluator. Soundness
-/// caveat: a *directed* closure does not over-approximate expressions
-/// with backward steps (they traverse reversed edges), so for those the
-/// wrapper skips the prefilter and delegates unless the closure was built
-/// undirected.
+/// caveats (each one self-disables the prefilter and delegates):
+///
+///  * a *directed* closure does not over-approximate expressions with
+///    backward steps (they traverse reversed edges) — skipped unless the
+///    closure was built undirected;
+///  * a closure snapshot does not over-approximate a graph with pending
+///    *insertions* in the DeltaOverlay (an added edge may connect the
+///    pair) — negative pruning is suspended while the overlay has adds,
+///    and resumes after compaction. Pure deletions keep it sound (see
+///    index/prefilter_validity.h).
 
+#include "graph/delta_overlay.h"
 #include "index/transitive_closure.h"
 #include "query/evaluator.h"
 
@@ -20,10 +27,14 @@ namespace sargus {
 class ClosurePrefilterEvaluator : public Evaluator {
  public:
   /// Both references must outlive the evaluator; the closure must cover
-  /// the same graph the inner evaluator runs on.
+  /// the same graph the inner evaluator runs on. `overlay` (optional)
+  /// is the pending-mutation set layered over that graph's snapshot —
+  /// the prefilter consults it to decide when its pruning is still
+  /// sound; the inner evaluator is responsible for actually applying it.
   ClosurePrefilterEvaluator(const TransitiveClosure& closure,
-                            const Evaluator& inner)
-      : closure_(&closure), inner_(&inner) {}
+                            const Evaluator& inner,
+                            const DeltaOverlay* overlay = nullptr)
+      : closure_(&closure), inner_(&inner), overlay_(overlay) {}
 
   std::string_view name() const override { return "closure-prefilter"; }
 
@@ -34,6 +45,7 @@ class ClosurePrefilterEvaluator : public Evaluator {
  private:
   const TransitiveClosure* closure_;
   const Evaluator* inner_;
+  const DeltaOverlay* overlay_;
 };
 
 }  // namespace sargus

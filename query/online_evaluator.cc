@@ -8,7 +8,8 @@ Result<Evaluation> OnlineEvaluator::EvaluateWith(const ReachQuery& q,
                                                  EvalContext& ctx) const {
   SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
   return ForwardProductSearch(*graph_, *csr_, q.expr->automaton(), q.src,
-                              q.dst, order_, q.want_witness, ctx.scratch);
+                              q.dst, order_, q.want_witness, ctx.scratch,
+                              overlay_);
 }
 
 }  // namespace sargus

@@ -23,10 +23,14 @@ namespace sargus {
 class OnlineEvaluator : public Evaluator {
  public:
   /// `graph` and `csr` must outlive the evaluator; `csr` must be a
-  /// snapshot of `graph`.
+  /// snapshot of `graph`. `overlay` (optional, must also outlive the
+  /// evaluator) layers pending mutations over the snapshot, so queries
+  /// see AddEdge/RemoveEdge immediately without a rebuild; an empty
+  /// overlay costs one branch per expansion.
   OnlineEvaluator(const SocialGraph& graph, const CsrSnapshot& csr,
-                  TraversalOrder order = TraversalOrder::kBfs)
-      : graph_(&graph), csr_(&csr), order_(order) {}
+                  TraversalOrder order = TraversalOrder::kBfs,
+                  const DeltaOverlay* overlay = nullptr)
+      : graph_(&graph), csr_(&csr), overlay_(overlay), order_(order) {}
 
   std::string_view name() const override {
     return order_ == TraversalOrder::kBfs ? "online-bfs" : "online-dfs";
@@ -39,6 +43,7 @@ class OnlineEvaluator : public Evaluator {
  private:
   const SocialGraph* graph_;
   const CsrSnapshot* csr_;
+  const DeltaOverlay* overlay_;
   TraversalOrder order_;
 };
 

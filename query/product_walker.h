@@ -18,11 +18,28 @@
 /// itself is a cheap view object constructed per query. Constructing it
 /// opens a new epoch on `scratch.visited` and truncates the frontier —
 /// O(1) in steady state, never an O(|V|·states) allocation.
+///
+/// Snapshot-consistency contract: a walk runs over one CsrSnapshot plus
+/// an optional DeltaOverlay (pending mutations merged into every neighbor
+/// expansion via ForEachNeighborEdge — the walk sees the *logical* graph,
+/// base minus staged removals plus staged additions). The snapshot and
+/// the overlay must stay frozen for the duration of the walk: mutating
+/// the overlay mid-walk is a logic race (configurations already expanded
+/// used the old delta), and swapping the snapshot is a lifetime bug.
+/// Staged-edge endpoints must be < csr.NumNodes() — visited arrays are
+/// sized to the snapshot.
+///
+/// Thread-safety: a walker is single-threaded by construction — it owns
+/// no state but mutates the caller's QueryScratch, which must never be
+/// shared between concurrent walks. Any number of concurrent walkers may
+/// share one (csr, overlay, nfa) as long as each has its own scratch and
+/// nothing mutates the shared structures meanwhile.
 
 #include <vector>
 
 #include "core/automaton.h"
 #include "graph/csr.h"
+#include "graph/delta_overlay.h"
 #include "query/eval_context.h"
 #include "query/evaluator.h"
 
@@ -36,11 +53,15 @@ class ProductWalker {
   /// `scratch` must outlive the walker; `csr` must snapshot `graph` and
   /// `nfa` must be compiled from an expression bound to it. With
   /// `track_parents`, parent links are recorded for BuildWitness.
+  /// `overlay` (optional) layers pending mutations over `csr`; it must be
+  /// relative to exactly that snapshot and outlive the walker.
   ProductWalker(const SocialGraph& graph, const CsrSnapshot& csr,
                 const HopAutomaton& nfa, TraversalOrder order,
-                QueryScratch& scratch, bool track_parents)
+                QueryScratch& scratch, bool track_parents,
+                const DeltaOverlay* overlay = nullptr)
       : graph_(&graph),
         csr_(&csr),
+        overlay_(overlay),
         nfa_(&nfa),
         scratch_(&scratch),
         order_(order),
@@ -105,20 +126,19 @@ class ProductWalker {
     ++pairs_visited_;
 
     const BoundStep& step = nfa_->StepSpec(c.state);
-    const auto entries = step.backward
-                             ? csr_->InWithLabel(c.node, step.label)
-                             : csr_->OutWithLabel(c.node, step.label);
     const bool accepts = nfa_->AcceptsAfterEdge(c.state);
     const auto& targets = nfa_->TargetsAfterEdge(c.state);
-    for (const CsrSnapshot::Entry& e : entries) {
-      const NodeId w = e.other;
-      if (!BoundPathExpression::NodePasses(*graph_, w, step)) continue;
-      if (accepts && on_accept(w, c.node, c.state)) return true;
-      for (uint32_t t : targets) {
-        if (Push(w, t, c.node, c.state) && on_push(w, t)) return true;
-      }
-    }
-    return false;
+    // Logical neighbors: base entries minus overlay removals plus overlay
+    // additions (one shared merge point, see ForEachNeighborEdge).
+    return ForEachNeighborEdge(
+        *csr_, overlay_, c.node, step.label, step.backward, [&](NodeId w) {
+          if (!BoundPathExpression::NodePasses(*graph_, w, step)) return false;
+          if (accepts && on_accept(w, c.node, c.state)) return true;
+          for (uint32_t t : targets) {
+            if (Push(w, t, c.node, c.state) && on_push(w, t)) return true;
+          }
+          return false;
+        });
   }
 
   /// Runs to exhaustion or until `on_accept` stops the walk; returns true
@@ -142,6 +162,7 @@ class ProductWalker {
  private:
   const SocialGraph* graph_;
   const CsrSnapshot* csr_;
+  const DeltaOverlay* overlay_;
   const HopAutomaton* nfa_;
   QueryScratch* scratch_;
   TraversalOrder order_;
@@ -155,12 +176,14 @@ class ProductWalker {
 /// BidirectionalEvaluator's witness reconstruction run: seed at `src`,
 /// walk in `order`, grant on reaching `dst` in an accepting
 /// configuration, optionally reconstructing the witness path. Validation
-/// is the caller's job (ValidateQuery).
+/// is the caller's job (ValidateQuery). `overlay` layers pending
+/// mutations over `csr` (nullptr = the snapshot alone).
 Evaluation ForwardProductSearch(const SocialGraph& graph,
                                 const CsrSnapshot& csr,
                                 const HopAutomaton& nfa, NodeId src,
                                 NodeId dst, TraversalOrder order,
-                                bool want_witness, QueryScratch& scratch);
+                                bool want_witness, QueryScratch& scratch,
+                                const DeltaOverlay* overlay = nullptr);
 
 }  // namespace sargus
 

@@ -11,7 +11,8 @@ namespace sargus {
 std::vector<NodeId> CollectMatchingAudience(const SocialGraph& g,
                                             const CsrSnapshot& csr,
                                             const BoundPathExpression& expr,
-                                            NodeId src, EvalContext* ctx) {
+                                            NodeId src, EvalContext* ctx,
+                                            const DeltaOverlay* overlay) {
   if (expr.graph() != &g || src >= csr.NumNodes() || expr.steps().empty()) {
     return {};
   }
@@ -27,7 +28,7 @@ std::vector<NodeId> CollectMatchingAudience(const SocialGraph& g,
   if (nfa.AcceptsEmpty()) mark(src);
 
   ProductWalker walker(g, csr, nfa, TraversalOrder::kBfs, scratch,
-                       /*track_parents=*/false);
+                       /*track_parents=*/false, overlay);
   walker.SeedStarts(src);
   walker.Run([&](NodeId entered, NodeId, uint32_t) {
     mark(entered);

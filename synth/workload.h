@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "core/path_expression.h"
 #include "graph/csr.h"
+#include "graph/delta_overlay.h"
 
 namespace sargus {
 
@@ -27,11 +28,15 @@ struct EvalContext;
 /// Returns empty on any argument mismatch. Traversal scratch comes from
 /// `ctx` when given, this thread's pooled context otherwise — repeated
 /// calls reuse it instead of allocating O(|V|·states) arrays each time.
+/// `overlay` (optional) layers pending mutations over `csr`, so the
+/// audience reflects AddEdge/RemoveEdge staged since the snapshot.
 std::vector<NodeId> CollectMatchingAudience(const SocialGraph& g,
                                             const CsrSnapshot& csr,
                                             const BoundPathExpression& expr,
                                             NodeId src,
-                                            EvalContext* ctx = nullptr);
+                                            EvalContext* ctx = nullptr,
+                                            const DeltaOverlay* overlay =
+                                                nullptr);
 
 }  // namespace sargus
 

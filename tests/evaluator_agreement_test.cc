@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "graph/delta_overlay.h"
 #include "query/bidirectional.h"
 #include "query/closure_prefilter.h"
 #include "query/join_evaluator.h"
@@ -175,6 +177,119 @@ TEST(EvaluatorAgreement, AdjacencyTupleCapBoundsLiveTuplesNotCumulativeWork) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_TRUE(r->granted);
   EXPECT_EQ(r->stats.line_queries, 5u);
+}
+
+/// Overlay extension of the agreement invariant: after a random
+/// interleaving of staged additions and removals, every overlay-aware
+/// evaluator must agree with a brute force over the *materialized*
+/// logical graph (a mirror that actually applied each mutation and is
+/// rebuilt from scratch — the semantics the overlay emulates lazily).
+void CheckOverlayAgreement(const Stack& s, const DeltaOverlay& overlay,
+                           const SocialGraph& mirror,
+                           const std::vector<std::string>& exprs) {
+  const CsrSnapshot mirror_csr = CsrSnapshot::Build(mirror);
+  OnlineEvaluator bfs(s.g, s.csr, TraversalOrder::kBfs, &overlay);
+  OnlineEvaluator dfs(s.g, s.csr, TraversalOrder::kDfs, &overlay);
+  BidirectionalEvaluator bidi(s.g, s.csr, &overlay);
+  // Conservative prefilter: with pending insertions it must delegate
+  // rather than fast-deny from the stale closure.
+  ClosurePrefilterEvaluator pref(*s.closure_undirected, bfs, &overlay);
+  const Evaluator* evaluators[] = {&bfs, &dfs, &bidi, &pref};
+
+  for (const std::string& text : exprs) {
+    const BoundPathExpression expr = MustBind(s.g, text);
+    for (NodeId src = 0; src < s.g.NumNodes(); ++src) {
+      for (NodeId dst = 0; dst < s.g.NumNodes(); ++dst) {
+        const ReachQuery q{src, dst, &expr, false};
+        const bool expected =
+            BruteForceMatch(mirror, mirror_csr, expr, src, dst);
+        for (const Evaluator* eval : evaluators) {
+          auto r = eval->Evaluate(q);
+          ASSERT_TRUE(r.ok()) << eval->name() << ": "
+                              << r.status().ToString();
+          EXPECT_EQ(r->granted, expected)
+              << eval->name() << " disagrees on '" << text << "' " << src
+              << " -> " << dst << " with overlay (" << overlay.NumAdded()
+              << " adds, " << overlay.NumRemoved() << " removes)";
+        }
+      }
+    }
+  }
+}
+
+TEST(EvaluatorAgreement, OverlayRandomizedMutationsAllFamilies) {
+  const std::vector<std::string> exprs = {
+      "friend[1]",
+      "friend[1,2]/colleague[1]",
+      "friend[1,3]",
+      "colleague[1]/friend[1,2]",
+      "friend[1]{age>=40}/colleague[1,2]",
+  };
+  for (uint64_t seed : {101u, 102u, 103u}) {
+    auto gen = GenerateErdosRenyi(
+        {.base = {.num_nodes = 18, .seed = seed}, .avg_out_degree = 2.0});
+    ASSERT_TRUE(gen.ok());
+    auto s = BuildStack(std::move(*gen), /*include_backward=*/false);
+    ASSERT_NE(s, nullptr);
+
+    SocialGraph mirror = s->g;  // the materialized logical graph
+    DeltaOverlay overlay;
+    const LabelId fr = s->g.labels().Lookup("friend");
+    const LabelId co = s->g.labels().Lookup("colleague");
+    ASSERT_NE(fr, kInvalidLabel);
+    ASSERT_NE(co, kInvalidLabel);
+
+    Rng rng(seed * 31);
+    for (int op = 0; op < 40; ++op) {
+      const NodeId a = static_cast<NodeId>(rng.NextBounded(s->g.NumNodes()));
+      const NodeId b = static_cast<NodeId>(rng.NextBounded(s->g.NumNodes()));
+      const LabelId l = rng.NextBool(0.5) ? fr : co;
+      if (rng.NextBool(0.5)) {
+        // Stage a logical add (mimicking the engine's invariants: never
+        // duplicate a visible base edge).
+        if (s->g.FindEdge(a, b, l).has_value()) {
+          overlay.UnstageRemove(a, b, l);
+        } else {
+          overlay.StageAdd(a, b, l);
+        }
+        (void)mirror.AddEdge(a, b, l);
+      } else {
+        // Stage a logical remove of whatever edge is visible.
+        if (overlay.UnstageAdd(a, b, l)) {
+          // withdrew a pending insertion
+        } else if (s->g.FindEdge(a, b, l).has_value()) {
+          overlay.StageRemove(a, b, l);
+        }
+        if (auto id = mirror.FindEdge(a, b, l)) (void)mirror.RemoveEdge(*id);
+      }
+    }
+    ASSERT_FALSE(overlay.empty());
+    CheckOverlayAgreement(*s, overlay, mirror, exprs);
+  }
+}
+
+TEST(EvaluatorAgreement, OverlayBackwardStepsSeeMutations) {
+  auto s = BuildStack(MakeDiamond(), /*include_backward=*/true);
+  ASSERT_NE(s, nullptr);
+  SocialGraph mirror = s->g;
+  DeltaOverlay overlay;
+  const LabelId fr = s->g.labels().Lookup("friend");
+  const LabelId co = s->g.labels().Lookup("colleague");
+  // Mutations exercised through reversed steps: kill 5 -f-> 3, add
+  // 3 -c-> 1 (reachable from 1 only via colleague-).
+  overlay.StageRemove(5, 3, fr);
+  (void)mirror.RemoveEdge(*mirror.FindEdge(5, 3, fr));
+  overlay.StageAdd(3, 1, co);
+  (void)mirror.AddEdge(3, 1, co);
+
+  CheckOverlayAgreement(*s, overlay, mirror,
+                        {
+                            "friend-[1]",
+                            "friend-[1,2]",
+                            "colleague-[1]/friend-[1]",
+                            "friend[1]/colleague-[1]",
+                            "colleague-[1]{age>=40}",
+                        });
 }
 
 TEST(EvaluatorAgreement, WitnessesAgreeOnValidity) {
