@@ -1,0 +1,189 @@
+/// B9 -- Concurrent serving throughput on the immutable read-view API.
+///
+/// The engine publishes immutable AccessReadViews; CheckAccess on a view
+/// is const and lock-free, so decision throughput should scale with
+/// reader threads (the acceptance criterion for the view subsystem: 8
+/// threads on one shared view ≥ 4x a single thread, given ≥ 8 cores).
+/// Four series:
+///
+///  * BM_ViewCheckAccess/threads:N — N threads hammering one shared
+///    view, each with its own scratch context (the intended serving
+///    configuration; no lock anywhere on the path);
+///  * BM_EngineCheckAccess/threads:N — the engine facade, which
+///    re-acquires the view per call (per-thread acquire cache, no lock
+///    in steady state) and feeds the mutex-guarded audit ring: what the
+///    convenience surface costs under contention;
+///  * BM_EngineCheckAccessNoAudit/threads:N — the facade with
+///    audit_capacity = 0 (cached view acquire, no mutex anywhere);
+///  * BM_BatchCheckAccess vs BM_LoopCheckAccess — one
+///    CheckAccessBatch over a fixed request mix vs the same requests
+///    looped one by one (per-decision latency, single thread).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/access_engine.h"
+#include "query/eval_context.h"
+
+namespace sargus {
+namespace bench {
+namespace {
+
+constexpr size_t kNodes = 4000;
+constexpr size_t kNumResources = 40;
+constexpr size_t kNumRequests = 256;
+
+struct ConcurrencyFixture {
+  std::unique_ptr<SocialGraph> g;
+  PolicyStore store;
+  std::unique_ptr<AccessControlEngine> engine;
+  std::unique_ptr<AccessControlEngine> engine_no_audit;
+  std::vector<AccessRequest> requests;
+};
+
+ConcurrencyFixture& GetFixture() {
+  static ConcurrencyFixture* f = []() {
+    auto* fx = new ConcurrencyFixture();
+    fx->g = std::make_unique<SocialGraph>(
+        MakeGraph(GraphKind::kBarabasiAlbert, kNodes, 3, 42));
+    static const char* kPolicyMix[] = {
+        "friend[1]",
+        "friend[1,2]",
+        "friend[1,2]/colleague[1]",
+        "friend[1]{age>=18}",
+    };
+    Rng rng(99);
+    std::vector<ResourceId> resources;
+    for (size_t i = 0; i < kNumResources; ++i) {
+      NodeId owner = static_cast<NodeId>(rng.NextBounded(kNodes));
+      ResourceId res =
+          fx->store.RegisterResource(owner, "res" + std::to_string(i));
+      if (!fx->store.AddRuleFromPaths(res, {kPolicyMix[i % 4]}).ok()) {
+        std::abort();
+      }
+      resources.push_back(res);
+    }
+    for (size_t i = 0; i < kNumRequests; ++i) {
+      fx->requests.push_back(
+          {.requester = static_cast<NodeId>(rng.NextBounded(kNodes)),
+           .resource = resources[rng.NextBounded(resources.size())]});
+    }
+    fx->engine = std::make_unique<AccessControlEngine>(*fx->g, fx->store,
+                                                       EngineOptions{});
+    if (!fx->engine->RebuildIndexes().ok()) std::abort();
+    EngineOptions no_audit;
+    no_audit.audit_capacity = 0;
+    fx->engine_no_audit = std::make_unique<AccessControlEngine>(
+        *fx->g, fx->store, no_audit);
+    if (!fx->engine_no_audit->RebuildIndexes().ok()) std::abort();
+    return fx;
+  }();
+  return *f;
+}
+
+/// N threads, one shared immutable view, per-thread scratch. This is
+/// the lock-free serving path the acceptance criterion measures.
+void BM_ViewCheckAccess(benchmark::State& state) {
+  ConcurrencyFixture& f = GetFixture();
+  // All threads share one pinned view; the shared_ptr is acquired once
+  // per thread, not per decision.
+  std::shared_ptr<const AccessReadView> view = f.engine->AcquireReadView();
+  EvalContext ctx;
+  size_t i = state.thread_index() * 17;  // decorrelate thread request mixes
+  for (auto _ : state) {
+    const AccessRequest& req = f.requests[i % f.requests.size()];
+    ++i;
+    auto d = view->CheckAccess(req, ctx);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(d->granted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ViewCheckAccess)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void RunFacadeBench(benchmark::State& state, AccessControlEngine& engine) {
+  ConcurrencyFixture& f = GetFixture();
+  size_t i = state.thread_index() * 17;
+  for (auto _ : state) {
+    const AccessRequest& req = f.requests[i % f.requests.size()];
+    ++i;
+    auto d = engine.CheckAccess(req);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(d->granted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// The convenience facade: per-call atomic view acquisition + the
+/// audit-ring mutex.
+void BM_EngineCheckAccess(benchmark::State& state) {
+  RunFacadeBench(state, *GetFixture().engine);
+}
+BENCHMARK(BM_EngineCheckAccess)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// The facade with auditing off: the only remaining shared write is the
+/// view shared_ptr refcount.
+void BM_EngineCheckAccessNoAudit(benchmark::State& state) {
+  RunFacadeBench(state, *GetFixture().engine_no_audit);
+}
+BENCHMARK(BM_EngineCheckAccessNoAudit)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// One CheckAccessBatch over the fixed request mix: shared view
+/// acquisition, one scratch context, requests grouped by resource.
+void BM_BatchCheckAccess(benchmark::State& state) {
+  ConcurrencyFixture& f = GetFixture();
+  auto view = f.engine->AcquireReadView();
+  EvalContext ctx;
+  for (auto _ : state) {
+    auto out = view->CheckAccessBatch(f.requests, ctx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.requests.size());
+}
+BENCHMARK(BM_BatchCheckAccess);
+
+/// The same requests, one CheckAccess at a time on the same view and
+/// context — the baseline the batch API amortizes against.
+void BM_LoopCheckAccess(benchmark::State& state) {
+  ConcurrencyFixture& f = GetFixture();
+  auto view = f.engine->AcquireReadView();
+  EvalContext ctx;
+  for (auto _ : state) {
+    for (const AccessRequest& req : f.requests) {
+      auto d = view->CheckAccess(req, ctx);
+      benchmark::DoNotOptimize(d.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * f.requests.size());
+}
+BENCHMARK(BM_LoopCheckAccess);
+
+}  // namespace
+}  // namespace bench
+}  // namespace sargus
+
+BENCHMARK_MAIN();

@@ -161,7 +161,7 @@ void BM_ChurnEngineOverlay(benchmark::State& state) {
     }
     ++i;
     NodeId requester = static_cast<NodeId>(rng.NextBounded(kNodes));
-    auto r = engine.CheckAccess(requester, res);
+    auto r = engine.CheckAccess({.requester = requester, .resource = res});
     benchmark::DoNotOptimize(r->granted);
   }
   state.counters["compactions"] =

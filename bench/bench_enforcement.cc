@@ -52,7 +52,8 @@ EngineFixture& GetFixture(size_t nodes) {
   return *cache.emplace(nodes, std::move(f)).first->second;
 }
 
-void RunEngineBench(benchmark::State& state, EngineOptions options) {
+void RunEngineBench(benchmark::State& state, EngineOptions options,
+                    bool want_witness = false) {
   const size_t nodes = static_cast<size_t>(state.range(0));
   EngineFixture& f = GetFixture(nodes);
   // Backward steps in the policy mix need backward line orientations.
@@ -68,7 +69,9 @@ void RunEngineBench(benchmark::State& state, EngineOptions options) {
     NodeId requester = f.requesters[i % f.requesters.size()];
     ResourceId resource = f.resources[i % f.resources.size()];
     ++i;
-    auto d = engine.CheckAccess(requester, resource);
+    auto d = engine.CheckAccess({.requester = requester,
+                                 .resource = resource,
+                                 .want_witness = want_witness});
     if (!d.ok()) {
       state.SkipWithError(d.status().ToString().c_str());
       break;
@@ -114,8 +117,7 @@ BENCHMARK(BM_EngineAutoWithPrefilter)->Arg(1000)->Arg(4000)->Arg(16000);
 void BM_EngineWithWitness(benchmark::State& state) {
   EngineOptions o;
   o.evaluator = EvaluatorChoice::kAuto;
-  o.want_witness = true;
-  RunEngineBench(state, o);
+  RunEngineBench(state, o, /*want_witness=*/true);
 }
 BENCHMARK(BM_EngineWithWitness)->Arg(4000);
 

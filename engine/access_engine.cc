@@ -1,17 +1,38 @@
 #include "engine/access_engine.h"
 
-#include <algorithm>
-
-#include "query/bidirectional.h"
-#include "query/closure_prefilter.h"
-#include "query/online_evaluator.h"
+#include <utility>
 
 namespace sargus {
+
+namespace {
+
+uint64_t NextEngineId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread acquire cache: one entry is enough, because a serving
+/// thread hammers one engine. `engine_id` (never recycled) guards
+/// against a new engine reusing a destroyed engine's address. The view
+/// is held weakly so an idle thread's cache cannot keep an obsolete
+/// view (and its whole frozen index stack) alive — on a sequence hit
+/// the engine's own strong reference guarantees lock() succeeds.
+struct TlsViewCache {
+  uint64_t engine_id = 0;
+  uint64_t seq = 0;
+  std::weak_ptr<const AccessReadView> view;
+};
+thread_local TlsViewCache tls_view_cache;
+
+}  // namespace
 
 AccessControlEngine::AccessControlEngine(const SocialGraph& graph,
                                          const PolicyStore& store,
                                          EngineOptions options)
-    : graph_(&graph), store_(&store), options_(options) {}
+    : graph_(&graph),
+      store_(&store),
+      options_(options),
+      engine_id_(NextEngineId()) {}
 
 AccessControlEngine::AccessControlEngine(SocialGraph& graph,
                                          const PolicyStore& store,
@@ -19,86 +40,85 @@ AccessControlEngine::AccessControlEngine(SocialGraph& graph,
     : graph_(&graph),
       mutable_graph_(&graph),
       store_(&store),
-      options_(options) {}
+      options_(options),
+      engine_id_(NextEngineId()) {}
 
 AccessControlEngine::~AccessControlEngine() = default;
 
+void AccessControlEngine::PublishView() {
+  auto view = AccessReadView::Create(*graph_, idx_, policy_, overlay_,
+                                     options_, snapshot_generation_);
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    view_ = std::move(view);
+  }
+  // The bump is the readers' freshness signal: a thread that observes
+  // the new sequence re-reads the slot (whose mutex write above
+  // happened before this release store).
+  publish_seq_.fetch_add(1, std::memory_order_release);
+}
+
+std::shared_ptr<const AccessReadView> AccessControlEngine::AcquireReadView()
+    const {
+  const uint64_t seq = publish_seq_.load(std::memory_order_acquire);
+  if (seq == 0) return nullptr;  // nothing published yet
+  TlsViewCache& cache = tls_view_cache;
+  if (cache.engine_id == engine_id_ && cache.seq == seq) {
+    // Steady state: no lock (weak_ptr::lock is a refcount CAS). A null
+    // here means a racing republication just dropped the cached view;
+    // fall through to the slot and re-cache.
+    if (auto cached = cache.view.lock()) return cached;
+  }
+  std::shared_ptr<const AccessReadView> view;
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    view = view_;
+  }
+  // If a publication raced between the seq load and the slot read, the
+  // cache stamps an older seq onto a newer view: the next acquire just
+  // refreshes again. Freshness is monotonic either way (the slot is
+  // written before the sequence bump).
+  cache.engine_id = engine_id_;
+  cache.seq = seq;
+  cache.view = view;
+  return view;
+}
+
+bool AccessControlEngine::RefreshPolicySnapshotIfStale() {
+  if (policy_ != nullptr &&
+      policy_->source_num_resources == store_->NumResources() &&
+      policy_->source_num_rules == store_->NumRules()) {
+    return false;
+  }
+  policy_ = PolicySnapshot::Build(*store_, *graph_, *idx_, options_);
+  return true;
+}
+
 Status AccessControlEngine::RebuildIndexes() {
   built_ = false;
-  compiled_rules_.clear();
-  prefiltered_.clear();
   // The overlay is relative to the snapshot being replaced; staged
   // mutations that should survive must go through Compact() instead.
   overlay_.Clear();
-  csr_ = CsrSnapshot::Build(*graph_);
-
-  // The join-index stack (line graph, oracle, cluster index, tables) is
-  // by far the heaviest build; skip it entirely for online-only
-  // configurations, which only need the CSR.
-  const bool need_join_stack =
-      options_.evaluator == EvaluatorChoice::kAuto ||
-      options_.evaluator == EvaluatorChoice::kJoinIndex;
-  if (need_join_stack) {
-    lg_ = LineGraph::Build(
-        csr_, {.include_backward = options_.line_graph_backward});
-    auto oracle = LineReachabilityOracle::Build(lg_);
-    if (!oracle.ok()) return oracle.status();
-    oracle_ = std::make_unique<LineReachabilityOracle>(std::move(*oracle));
-    auto cluster = ClusterJoinIndex::Build(lg_, *oracle_);
-    if (!cluster.ok()) return cluster.status();
-    cluster_ = std::make_unique<ClusterJoinIndex>(std::move(*cluster));
-    tables_ = BaseTables::Build(lg_);
-    join_ = std::make_unique<JoinIndexEvaluator>(
-        *graph_, lg_, *oracle_, *cluster_, tables_, options_.join_options);
-  } else {
-    join_.reset();
-    cluster_.reset();
-    oracle_.reset();
-    lg_ = LineGraph();
-    tables_ = BaseTables();
-  }
-  if (options_.use_closure_prefilter) {
-    // Undirected: sound for backward steps too (see closure_prefilter.h).
-    closure_ = std::make_unique<TransitiveClosure>(
-        TransitiveClosure::Build(csr_, /*as_undirected=*/true));
-  } else {
-    closure_.reset();
-  }
-
-  // Traversal evaluators are overlay-aware: they read the engine's
-  // overlay on every neighbor expansion, so staged mutations are visible
-  // to the next query with no rewiring (an empty overlay is one branch).
-  online_bfs_ = std::make_unique<OnlineEvaluator>(
-      *graph_, csr_, TraversalOrder::kBfs, &overlay_);
-  online_dfs_ = std::make_unique<OnlineEvaluator>(
-      *graph_, csr_, TraversalOrder::kDfs, &overlay_);
-  bidirectional_ =
-      std::make_unique<BidirectionalEvaluator>(*graph_, csr_, &overlay_);
-
-  // Eager policy binding: every rule known to the store is bound, its
-  // automaton compiled (inside Bind) and its evaluator picked now, so
-  // CheckAccess does none of that work per request.
-  compiled_rules_.resize(store_->NumRules());
-  for (RuleId id = 0; id < store_->NumRules(); ++id) {
-    (void)EnsureCompiled(id);
-  }
+  auto idx = SnapshotIndexes::Build(*graph_, options_);
+  if (!idx.ok()) return idx.status();
+  idx_ = std::move(*idx);
+  // Unconditional policy rebuild: fresh dictionary entries (labels
+  // interned since the last build) may fix previously failed binds, and
+  // auto picks depend on the new bundle.
+  policy_ = PolicySnapshot::Build(*store_, *graph_, *idx_, options_);
   built_ = true;
   ++snapshot_generation_;
+  PublishView();
   return OkStatus();
 }
 
-const Evaluator* AccessControlEngine::WithPrefilter(const Evaluator* base) {
-  if (closure_ == nullptr || base == nullptr) return base;
-  auto it = prefiltered_.find(base);
-  if (it == prefiltered_.end()) {
-    // Overlay-aware wrapper: the prefilter self-suspends its fast-deny
-    // while pending insertions make closure pruning unsound.
-    it = prefiltered_
-             .emplace(base, std::make_unique<ClosurePrefilterEvaluator>(
-                                *closure_, *base, &overlay_))
-             .first;
+Status AccessControlEngine::RefreshPolicies() {
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "RefreshPolicies: call RebuildIndexes() first");
   }
-  return it->second.get();
+  if (RefreshPolicySnapshotIfStale()) PublishView();
+  return OkStatus();
 }
 
 // ---- Dynamic mutations ------------------------------------------------------
@@ -119,7 +139,7 @@ Status AccessControlEngine::CheckMutable() const {
 // Walker visited arrays are sized to the snapshot, so staged endpoints
 // must exist in it (nodes added after the rebuild need a rebuild).
 Status AccessControlEngine::CheckEndpoints(NodeId src, NodeId dst) const {
-  if (src >= csr_.NumNodes() || dst >= csr_.NumNodes()) {
+  if (src >= idx_->csr.NumNodes() || dst >= idx_->csr.NumNodes()) {
     return Status::InvalidArgument(
         "edge mutation: endpoint outside the current snapshot");
   }
@@ -140,7 +160,7 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst,
     }
   }
   SARGUS_RETURN_IF_ERROR(StageAddEdge(src, dst, id));
-  return MaybeCompact();
+  return FinishMutation();
 }
 
 Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
@@ -149,7 +169,7 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
     return Status::InvalidArgument("AddEdge: unknown label id");
   }
   SARGUS_RETURN_IF_ERROR(StageAddEdge(src, dst, label));
-  return MaybeCompact();
+  return FinishMutation();
 }
 
 Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
@@ -160,7 +180,7 @@ Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
     return Status::NotFound("RemoveEdge: unknown label '" + label + "'");
   }
   SARGUS_RETURN_IF_ERROR(StageRemoveEdge(src, dst, id));
-  return MaybeCompact();
+  return FinishMutation();
 }
 
 Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
@@ -169,7 +189,7 @@ Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
     return Status::NotFound("RemoveEdge: unknown label id");
   }
   SARGUS_RETURN_IF_ERROR(StageRemoveEdge(src, dst, label));
-  return MaybeCompact();
+  return FinishMutation();
 }
 
 Status AccessControlEngine::StageAddEdge(NodeId src, NodeId dst,
@@ -196,12 +216,16 @@ Status AccessControlEngine::StageRemoveEdge(NodeId src, NodeId dst,
   return OkStatus();
 }
 
-Status AccessControlEngine::MaybeCompact() {
-  if (options_.compact_threshold == 0 ||
-      overlay_.size() < options_.compact_threshold) {
-    return OkStatus();
+Status AccessControlEngine::FinishMutation() {
+  if (options_.compact_threshold != 0 &&
+      overlay_.size() >= options_.compact_threshold) {
+    return Compact();  // publishes via RebuildIndexes
   }
-  return Compact();
+  // Pick up any rules/resources registered since the last publish, then
+  // publish a view carrying the new frozen overlay.
+  (void)RefreshPolicySnapshotIfStale();
+  PublishView();
+  return OkStatus();
 }
 
 Status AccessControlEngine::Compact() {
@@ -209,7 +233,9 @@ Status AccessControlEngine::Compact() {
   if (overlay_.empty()) return OkStatus();
   // Fold the overlay into the system of record. Removals first so an
   // (unusual) same-triple remove+add sequence cannot resurrect the
-  // tombstoned slot's id ordering assumptions.
+  // tombstoned slot's id ordering assumptions. In-flight readers are
+  // unaffected: views read the graph's node count and attribute columns
+  // only, never its edge storage.
   Status apply = OkStatus();
   overlay_.ForEachRemoved([&](const DeltaOverlay::EdgeTriple& t) {
     auto id = mutable_graph_->FindEdge(t.src, t.dst, t.label);
@@ -222,149 +248,75 @@ Status AccessControlEngine::Compact() {
     if (apply.ok() && !r.ok()) apply = r.status();
   });
   if (!apply.ok()) return apply;
-  // RebuildIndexes clears the (now folded-in) overlay and re-snapshots.
+  // RebuildIndexes clears the (now folded-in) overlay, re-snapshots, and
+  // publishes the compacted view.
   return RebuildIndexes();
 }
 
-const AccessControlEngine::CompiledRule& AccessControlEngine::EnsureCompiled(
-    RuleId id) {
-  if (compiled_rules_.size() < store_->NumRules()) {
-    compiled_rules_.resize(store_->NumRules());
+// ---- Read path --------------------------------------------------------------
+
+void AccessControlEngine::PushAuditLocked(const AccessDecision& decision)
+    const {
+  if (audit_.size() < options_.audit_capacity) {
+    audit_.push_back(decision);
+  } else {
+    audit_[audit_next_] = decision;
+    audit_wrapped_ = true;
   }
-  CompiledRule& rule = compiled_rules_[id];
-  if (rule.compiled) return rule;
-  for (const PathExpression& path : store_->rule(id).paths) {
-    CompiledPath cp;
-    auto bound = BoundPathExpression::Bind(path, *graph_);
-    if (!bound.ok()) {
-      cp.bind_status = bound.status();
-    } else {
-      cp.bound = std::make_unique<BoundPathExpression>(std::move(*bound));
-      const Evaluator* picked = PickEvaluator(*cp.bound);
-      cp.evaluator = WithPrefilter(picked);
-      // The join index answers over the snapshot alone; while the
-      // overlay is non-empty those answers are stale, so such plans
-      // fall through to overlay-aware online search until Compact().
-      const Evaluator* overlay_base =
-          picked == join_.get() ? online_bfs_.get() : picked;
-      cp.overlay_evaluator = WithPrefilter(overlay_base);
-    }
-    rule.paths.push_back(std::move(cp));
-  }
-  rule.compiled = true;
-  return rule;
+  audit_next_ = (audit_next_ + 1) % options_.audit_capacity;
 }
 
-const Evaluator* AccessControlEngine::PickEvaluator(
-    const BoundPathExpression& expr) const {
-  switch (options_.evaluator) {
-    case EvaluatorChoice::kOnlineBfs:
-      return online_bfs_.get();
-    case EvaluatorChoice::kOnlineDfs:
-      return online_dfs_.get();
-    case EvaluatorChoice::kBidirectional:
-      return bidirectional_.get();
-    case EvaluatorChoice::kJoinIndex:
-      return join_.get();
-    case EvaluatorChoice::kAuto:
-      break;
-  }
-  // kAuto: the join index wins on point queries unless the expression
-  // expands combinatorially or needs an orientation the line graph lacks.
-  if (expr.HasBackwardStep() && !lg_.includes_backward()) {
-    return online_bfs_.get();
-  }
-  if (expr.ExpansionCount() > options_.auto_max_expansions) {
-    return online_bfs_.get();
-  }
-  return join_.get();
+void AccessControlEngine::RecordAudit(const AccessDecision& decision) const {
+  if (options_.audit_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  PushAuditLocked(decision);
 }
 
-Result<AccessDecision> AccessControlEngine::CheckAccess(NodeId requester,
-                                                        ResourceId resource) {
-  if (!store_->HasResource(resource)) {
-    return Status::NotFound("CheckAccess: unknown resource id " +
-                            std::to_string(resource));
-  }
-  if (requester >= graph_->NumNodes()) {
-    return Status::InvalidArgument("CheckAccess: requester out of range");
-  }
-  if (!built_) {
+Result<AccessDecision> AccessControlEngine::CheckAccess(
+    const AccessRequest& request) const {
+  auto view = AcquireReadView();
+  if (view == nullptr) {
     return Status::FailedPrecondition(
         "CheckAccess: call RebuildIndexes() first");
   }
-
-  const PolicyStore::Resource& res = store_->resource(resource);
-  AccessDecision decision;
-  decision.requester = requester;
-  decision.resource = resource;
-  decision.snapshot_generation = snapshot_generation_;
-  decision.overlay_version = overlay_.version();
-
-  if (res.owner == requester) {
-    decision.granted = true;
-    decision.owner_access = true;
-    decision.evaluator_name = "owner";
-  } else {
-    // A rule set is a disjunction: one expression failing to evaluate
-    // (unsupported orientation, work cap) must not mask a grant another
-    // expression would produce. Errors are remembered and only surface
-    // when nothing granted.
-    std::optional<Status> first_error;
-    for (const RuleId rule_id : res.rules) {
-      for (const CompiledPath& path : EnsureCompiled(rule_id).paths) {
-        if (!path.bind_status.ok()) {
-          if (!first_error) first_error = path.bind_status;
-          continue;
-        }
-        const Evaluator* chosen =
-            overlay_.empty() ? path.evaluator : path.overlay_evaluator;
-
-        ReachQuery q{res.owner, requester, path.bound.get(),
-                     options_.want_witness};
-        auto r = chosen->Evaluate(q);
-        if (!r.ok()) {
-          if (!first_error) first_error = r.status();
-          continue;
-        }
-        decision.stats.pairs_visited += r->stats.pairs_visited;
-        decision.stats.tuples_generated += r->stats.tuples_generated;
-        decision.stats.tuples_post_filtered += r->stats.tuples_post_filtered;
-        decision.stats.line_queries += r->stats.line_queries;
-        decision.stats.prefilter_rejections += r->stats.prefilter_rejections;
-        if (r->granted) {
-          decision.granted = true;
-          decision.matched_rule = rule_id;
-          decision.witness = std::move(r->witness);
-          decision.evaluator_name = chosen->name();
-          break;
-        }
-        decision.evaluator_name = chosen->name();
-      }
-      if (decision.granted) break;
-    }
-    // Nothing granted and at least one expression could not be
-    // evaluated: stay loud about the misconfiguration rather than
-    // reporting a confident deny.
-    if (!decision.granted && first_error.has_value()) {
-      return *first_error;
-    }
-  }
-
-  // Audit ring.
-  if (options_.audit_capacity > 0) {
-    if (audit_.size() < options_.audit_capacity) {
-      audit_.push_back(decision);
-    } else {
-      audit_[audit_next_] = decision;
-      audit_wrapped_ = true;
-    }
-    audit_next_ = (audit_next_ + 1) % options_.audit_capacity;
-  }
+  auto decision = view->CheckAccess(request);
+  if (decision.ok()) RecordAudit(*decision);
   return decision;
 }
 
+Result<AccessDecision> AccessControlEngine::CheckAccess(
+    NodeId requester, ResourceId resource) const {
+  AccessRequest request;
+  request.requester = requester;
+  request.resource = resource;
+  return CheckAccess(request);
+}
+
+std::vector<Result<AccessDecision>> AccessControlEngine::CheckAccessBatch(
+    std::span<const AccessRequest> requests) const {
+  auto view = AcquireReadView();
+  if (view == nullptr) {
+    std::vector<Result<AccessDecision>> out;
+    out.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      out.push_back(Status::FailedPrecondition(
+          "CheckAccess: call RebuildIndexes() first"));
+    }
+    return out;
+  }
+  auto out = view->CheckAccessBatch(requests);
+  if (options_.audit_capacity > 0) {
+    // One ring acquisition for the whole batch, not one per decision.
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    for (const auto& decision : out) {
+      if (decision.ok()) PushAuditLocked(*decision);
+    }
+  }
+  return out;
+}
+
 std::vector<AccessDecision> AccessControlEngine::AuditTrail() const {
+  std::lock_guard<std::mutex> lock(audit_mu_);
   std::vector<AccessDecision> out;
   if (!audit_wrapped_) {
     out = audit_;

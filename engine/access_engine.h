@@ -2,133 +2,101 @@
 #define SARGUS_ENGINE_ACCESS_ENGINE_H_
 
 /// \file access_engine.h
-/// \brief AccessControlEngine: the end-to-end facade.
+/// \brief AccessControlEngine: the write path + view publisher.
 ///
-/// Wires a SocialGraph and a PolicyStore to the full index + evaluator
-/// stack: CheckAccess(requester, resource) looks up the resource, walks
-/// its eagerly-bound rules, dispatches to the pre-picked (and, when
-/// configured, prefilter-wrapped) evaluator, and records the decision in
-/// a bounded audit ring.
+/// The engine wires a SocialGraph and a PolicyStore to the full index +
+/// evaluator stack and splits the API into two halves:
 ///
-/// Lifecycle: construct, RebuildIndexes(), serve CheckAccess. Graph
-/// mutations go through the engine's AddEdge/RemoveEdge (requires the
-/// mutable-graph constructor): each is an O(1) write to a DeltaOverlay
-/// layered over the current CsrSnapshot, visible to the very next query
-/// — no rebuild (bench_dynamic.cc measures the before/after cost
-/// models). When the overlay exceeds EngineOptions::compact_threshold,
-/// the engine automatically Compact()s: folds the staged mutations into
-/// the SocialGraph, clears the overlay, and rebuilds every snapshot
-/// index. kOnlineBfs/kOnlineDfs/kBidirectional only need the CSR;
-/// kJoinIndex needs the whole stack and fails with kFailedPrecondition
-/// if it is missing.
+///  * a **read path** served by immutable AccessReadViews (see
+///    read_view.h): `CheckAccess(AccessRequest)` / `CheckAccessBatch`
+///    acquire the current view (lock-free in steady state via a
+///    per-thread cache), decide lock-free against its frozen (snapshot
+///    + indexes + overlay + compiled rules) bundle, and record the
+///    decision in the audit ring;
+///    `AcquireReadView()` hands the view out directly for callers that
+///    want to pin one state across many calls (or skip the audit ring's
+///    mutex entirely);
+///  * a **write path** — RebuildIndexes, AddEdge/RemoveEdge, Compact,
+///    RefreshPolicies — that builds the *next* view off the serving path
+///    and publishes it with an atomic swap. In-flight readers drain on
+///    the old view, which keeps answering against its frozen state for
+///    as long as anyone holds it.
 ///
-/// Snapshot-consistency contract: the engine owns the pairing between
-/// the snapshot indexes and the overlay. While the overlay is non-empty,
-/// (a) traversal evaluators merge it into every neighbor expansion, (b)
-/// index-based pruning runs in conservative mode (pending insertions
-/// suspend closure fast-denies — see index/prefilter_validity.h), and
-/// (c) queries whose compiled plan picked the join index are re-routed
-/// to overlay-aware online search until the next compaction, so every
-/// evaluator keeps returning the same grant/deny. Mutating the
-/// SocialGraph directly after RebuildIndexes (rather than through the
-/// engine) breaks this pairing; call RebuildIndexes again if you must.
+/// Lifecycle: construct, RebuildIndexes(), serve. Graph mutations go
+/// through the engine's AddEdge/RemoveEdge (requires the mutable-graph
+/// constructor): each is an O(overlay) staged write — a DeltaOverlay
+/// delta plus a republished view carrying a frozen overlay copy —
+/// visible to the very next acquired view, never a rebuild
+/// (bench_dynamic.cc charts the cost model: flat in |V|, linear only in
+/// the bounded overlay size). When the overlay exceeds
+/// EngineOptions::compact_threshold, the engine automatically
+/// Compact()s: folds the staged mutations into the SocialGraph, clears
+/// the overlay, and rebuilds every snapshot index.
+/// kOnlineBfs/kOnlineDfs/kBidirectional only need the CSR; kJoinIndex
+/// needs the whole stack and fails with kFailedPrecondition if it is
+/// missing.
+///
+/// Snapshot-consistency contract: every published view owns the pairing
+/// between its snapshot indexes and its frozen overlay. While a view's
+/// overlay is non-empty, (a) its traversal evaluators merge the overlay
+/// into every neighbor expansion, (b) index-based pruning runs in
+/// conservative mode (pending insertions suspend closure fast-denies —
+/// see index/prefilter_validity.h), and (c) requests whose compiled plan
+/// picked the join index are re-routed to overlay-aware online search,
+/// so every evaluator keeps returning the same grant/deny. Mutating the
+/// SocialGraph directly (rather than through the engine) breaks this
+/// pairing; call RebuildIndexes again if you must.
+///
+/// Thread-safety contract (single-writer / multi-reader):
+///
+///  * READERS — `CheckAccess`, `CheckAccessBatch`, `AcquireReadView`,
+///    `AuditTrail` and every AccessReadView method are safe to call from
+///    any number of threads concurrently, including concurrently with
+///    one writer. The view read path takes no lock; the engine facade
+///    additionally locks a small mutex per decision to feed the audit
+///    ring (set audit_capacity = 0 to remove that too).
+///  * WRITERS — `RebuildIndexes`, `AddEdge`, `RemoveEdge`, `Compact`,
+///    `RefreshPolicies` must be externally serialized against each
+///    other: at most one writer at a time. They never block readers.
+///  * OUT OF SCOPE — mutating the SocialGraph or PolicyStore objects
+///    directly (AddNode, SetAttribute, AddRuleFromPaths, ...) while
+///    readers are in flight is not synchronized by the engine; quiesce
+///    readers (or serialize externally) and follow with
+///    RebuildIndexes/RefreshPolicies. Compact() is safe concurrently
+///    with readers because in-flight views read only the graph's node
+///    count and attribute columns, which compaction never touches.
 ///
 /// Generation counters: snapshot_generation() increments on every
 /// successful RebuildIndexes (including those triggered by Compact), and
-/// overlay_version() on every staged mutation. Pooled EvalContext /
-/// QueryScratch state needs no explicit invalidation across compactions:
-/// every walk re-opens its epoch sets sized to the *current* snapshot's
-/// product space, so scratch reused across a compaction cannot read
-/// stale visited state — the counters exist so callers (and tests) can
-/// tell which snapshot/overlay state a decision saw.
+/// overlay_version() on every staged mutation. Both are frozen into each
+/// published view and stamped into every AccessDecision, so callers
+/// (and the reader/mutator stress test) can tell exactly which published
+/// state a decision saw. The engine-level accessors read writer-side
+/// state — call them from the writer, or read the stamps off a view.
 ///
-/// Thread-safety: the engine is externally synchronized. CheckAccess
-/// mutates the audit ring and the lazy rule-compilation cache, and
-/// AddEdge/RemoveEdge/Compact mutate the overlay and indexes, so no two
-/// engine calls may run concurrently. (The evaluator layer below is
-/// concurrency-safe — a shared const evaluator may serve many threads —
-/// so a concurrent front end can shard engines or wrap this one in a
-/// lock; see ROADMAP.)
-///
-/// Policy binding happens at RebuildIndexes, keyed by stable RuleId:
-/// every rule path is bound, its hop automaton compiled, and its
-/// evaluator chosen once, so the request path performs no
-/// PathExpression::ToString(), Bind, or evaluator construction — only
-/// array lookups. Rules added to the store after RebuildIndexes are
-/// compiled on first use (once), not per request.
+/// Policy binding happens at publication, keyed by stable RuleId: every
+/// rule path is bound, its hop automaton compiled, and its automatic
+/// evaluator pick computed once per PolicySnapshot (see read_view.h), so
+/// the request path performs no PathExpression::ToString(), Bind, or
+/// evaluator construction — only array lookups. Rules added to the
+/// store after the last publish are invisible to served decisions until
+/// the next write-path call republishes (any mutation does, or call
+/// RefreshPolicies() explicitly).
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/policy.h"
-#include "graph/csr.h"
+#include "engine/read_view.h"
 #include "graph/delta_overlay.h"
-#include "graph/line_graph.h"
-#include "index/base_tables.h"
-#include "index/cluster_index.h"
-#include "index/line_oracle.h"
-#include "index/transitive_closure.h"
-#include "query/evaluator.h"
-#include "query/join_evaluator.h"
 
 namespace sargus {
-
-enum class EvaluatorChoice {
-  /// Join index when built and the expression expands modestly; online
-  /// BFS otherwise. The paper's deployment advice, codified.
-  kAuto,
-  kOnlineBfs,
-  kOnlineDfs,
-  kBidirectional,
-  kJoinIndex,
-};
-
-struct EngineOptions {
-  EvaluatorChoice evaluator = EvaluatorChoice::kAuto;
-  /// Build an (undirected) transitive closure and use it as a fast-deny
-  /// prefilter in front of the chosen evaluator.
-  bool use_closure_prefilter = false;
-  /// Ask evaluators for witness paths on grants.
-  bool want_witness = false;
-  /// Build the line graph with backward orientations (required when any
-  /// policy uses `label-[a,b]` steps and the join index may serve it).
-  bool line_graph_backward = false;
-  /// kAuto sends expressions expanding beyond this many line queries to
-  /// online search instead of the join index.
-  uint64_t auto_max_expansions = 64;
-  JoinIndexOptions join_options;
-  /// Decisions kept in the audit ring.
-  size_t audit_capacity = 1024;
-  /// Staged overlay mutations (adds + removes) tolerated before
-  /// AddEdge/RemoveEdge triggers an automatic Compact(). 0 disables
-  /// auto-compaction (the overlay then grows until an explicit
-  /// Compact()).
-  size_t compact_threshold = 4096;
-};
-
-struct AccessDecision {
-  bool granted = false;
-  NodeId requester = 0;
-  ResourceId resource = 0;
-  /// Rule that granted access (unset on denies and owner grants).
-  std::optional<RuleId> matched_rule;
-  /// True when requester == owner (always granted, no rule consulted).
-  bool owner_access = false;
-  /// Evaluator work, summed over all expressions tried.
-  EvalStats stats;
-  /// Witness path for the matched expression (when requested).
-  std::vector<NodeId> witness;
-  /// name() of the evaluator that produced the final verdict.
-  std::string_view evaluator_name;
-  /// Snapshot/overlay state the decision was evaluated against (see the
-  /// generation-counter contract in the file comment).
-  uint64_t snapshot_generation = 0;
-  uint64_t overlay_version = 0;
-};
 
 class AccessControlEngine {
  public:
@@ -150,86 +118,107 @@ class AccessControlEngine {
   AccessControlEngine(const AccessControlEngine&) = delete;
   AccessControlEngine& operator=(const AccessControlEngine&) = delete;
 
-  /// (Re)builds every snapshot index the configuration needs. Call after
-  /// construction (and after mutating the graph *outside* the engine).
-  /// Discards any staged overlay mutations — the overlay is defined
-  /// relative to the snapshot being replaced; use Compact() to fold
-  /// pending mutations in instead of dropping them.
+  // ---- Write path (externally serialized; see file comment) ---------------
+
+  /// (Re)builds every snapshot index the configuration needs and
+  /// publishes a fresh view. Call after construction (and after mutating
+  /// the graph *outside* the engine). Discards any staged overlay
+  /// mutations — the overlay is defined relative to the snapshot being
+  /// replaced; use Compact() to fold pending mutations in instead of
+  /// dropping them. On failure the previously published view (if any)
+  /// keeps serving.
   Status RebuildIndexes();
 
-  // ---- Dynamic mutations (mutable-graph constructor only) -----------------
-
-  /// Stages edge src -[label]-> dst as added, visible to the next query.
-  /// O(1) unless it trips auto-compaction. Idempotent when the logical
-  /// edge already exists. Interns an unknown label name.
-  /// kInvalidArgument for out-of-range endpoints, kFailedPrecondition
-  /// before RebuildIndexes or on a const-graph engine.
+  /// Stages edge src -[label]-> dst as added and publishes a view that
+  /// sees it. O(overlay size) — flat in |V| — unless it trips
+  /// auto-compaction. Idempotent when the logical edge already exists.
+  /// Interns an unknown label name. kInvalidArgument for out-of-range
+  /// endpoints, kFailedPrecondition before RebuildIndexes or on a
+  /// const-graph engine. (Mutable-graph constructor only.)
   Status AddEdge(NodeId src, NodeId dst, const std::string& label);
   Status AddEdge(NodeId src, NodeId dst, LabelId label);
 
   /// Stages the logical edge src -[label]-> dst as removed (withdrawing
-  /// a pending add, or masking a base edge). kNotFound when the logical
-  /// edge does not exist.
+  /// a pending add, or masking a base edge) and publishes. kNotFound
+  /// when the logical edge does not exist.
   Status RemoveEdge(NodeId src, NodeId dst, const std::string& label);
   Status RemoveEdge(NodeId src, NodeId dst, LabelId label);
 
   /// Folds every staged mutation into the SocialGraph, clears the
-  /// overlay, and rebuilds the snapshot indexes. No-op on an empty
-  /// overlay. Queries before and after see the same logical graph; only
-  /// the cost profile changes (index pruning and the join index come
-  /// back online).
+  /// overlay, rebuilds the snapshot indexes, and publishes. No-op on an
+  /// empty overlay. Views acquired before and after see the same logical
+  /// graph; only the cost profile changes (index pruning and the join
+  /// index come back online). Old views stay valid: they answer against
+  /// their frozen snapshot + overlay for as long as they are held.
   Status Compact();
 
-  /// The pending-mutation set (empty once compacted). Stable address for
-  /// the engine's lifetime — evaluators hold pointers to it.
+  /// Rebinds the policy snapshot if the PolicyStore changed since the
+  /// last publish, and publishes a view that sees it. No-op when the
+  /// store is unchanged. (Any mutation republishes too — this is for
+  /// policy-only changes.)
+  Status RefreshPolicies();
+
+  // ---- Read path (thread-safe, lock-free except the audit ring) -----------
+
+  /// The currently published view, or null before the first successful
+  /// RebuildIndexes. Lock-free in steady state: each thread caches the
+  /// view it last acquired, keyed by an atomic publication sequence, so
+  /// the publication mutex is touched only on the first acquire after a
+  /// republication. Pin the result to answer many requests against one
+  /// frozen state — and to skip the audit ring.
+  std::shared_ptr<const AccessReadView> AcquireReadView() const;
+
+  /// Decides `request` against the current view and records the decision
+  /// in the audit ring. Thread-safe; concurrent with one writer.
+  Result<AccessDecision> CheckAccess(const AccessRequest& request) const;
+
+  /// Deprecated shim for the pre-view positional API; equivalent to
+  /// CheckAccess(AccessRequest{requester, resource}). Prefer the
+  /// AccessRequest overload (per-request witness/evaluator control).
+  Result<AccessDecision> CheckAccess(NodeId requester,
+                                     ResourceId resource) const;
+
+  /// Batch decision against one view acquisition and one scratch
+  /// context; results are positional (out[i] answers requests[i]). See
+  /// AccessReadView::CheckAccessBatch.
+  std::vector<Result<AccessDecision>> CheckAccessBatch(
+      std::span<const AccessRequest> requests) const;
+
+  /// Most recent decisions, oldest first (bounded by audit_capacity).
+  /// Thread-safe.
+  std::vector<AccessDecision> AuditTrail() const;
+
+  // ---- Introspection (writer-side state; see file comment) ----------------
+
+  /// The pending-mutation set (empty once compacted). Writer-side: the
+  /// master copy mutations stage into, not the frozen copy views carry.
   const DeltaOverlay& overlay() const { return overlay_; }
 
   /// Bumped by every successful RebuildIndexes (incl. via Compact).
   uint64_t snapshot_generation() const { return snapshot_generation_; }
-  /// Forwarded DeltaOverlay::version().
+  /// Forwarded DeltaOverlay::version() of the writer-side overlay.
   uint64_t overlay_version() const { return overlay_.version(); }
-
-  /// Decides whether `requester` may access `resource`.
-  Result<AccessDecision> CheckAccess(NodeId requester, ResourceId resource);
-
-  /// Most recent decisions, oldest first (bounded by audit_capacity).
-  std::vector<AccessDecision> AuditTrail() const;
 
   bool indexes_built() const { return built_; }
   const EngineOptions& options() const { return options_; }
 
  private:
-  /// One rule path, bound and wired at compile time. `bound` is
-  /// heap-allocated so the pointer handed to queries stays stable;
-  /// `evaluator` is the picked engine (prefilter-wrapped when enabled),
-  /// owned by the engine. A failed bind keeps its status here so rule
-  /// disjunction semantics can surface it only when nothing grants.
-  struct CompiledPath {
-    Status bind_status = OkStatus();
-    std::unique_ptr<BoundPathExpression> bound;
-    const Evaluator* evaluator = nullptr;
-    /// Evaluator used while the overlay is non-empty: same as
-    /// `evaluator` for overlay-aware picks, the overlay-aware online
-    /// fallback when the static pick was the (snapshot-only) join index.
-    const Evaluator* overlay_evaluator = nullptr;
-  };
-  struct CompiledRule {
-    bool compiled = false;
-    std::vector<CompiledPath> paths;
-  };
-
-  const Evaluator* PickEvaluator(const BoundPathExpression& expr) const;
-  /// Returns the closure-prefilter wrapper around `base` (creating it on
-  /// first need) when the prefilter is configured, `base` otherwise.
-  const Evaluator* WithPrefilter(const Evaluator* base);
-  /// Binds + wires every path of `id` once; cheap lookup afterwards.
-  const CompiledRule& EnsureCompiled(RuleId id);
+  /// Builds a view from the current bundles + overlay and publishes it
+  /// (release store; readers acquire).
+  void PublishView();
+  /// Rebuilds policy_ when the store's rule/resource counts moved;
+  /// returns true when it did.
+  bool RefreshPolicySnapshotIfStale();
+  /// Pushes an already-made decision into the audit ring (thread-safe).
+  void RecordAudit(const AccessDecision& decision) const;
+  /// Ring push; caller holds audit_mu_ and checked audit_capacity > 0.
+  void PushAuditLocked(const AccessDecision& decision) const;
 
   /// Shared AddEdge/RemoveEdge staging logic after label resolution.
   Status StageAddEdge(NodeId src, NodeId dst, LabelId label);
   Status StageRemoveEdge(NodeId src, NodeId dst, LabelId label);
-  /// Auto-compaction trigger, called after every successful staging.
-  Status MaybeCompact();
+  /// Post-staging tail: auto-compact at threshold, else publish.
+  Status FinishMutation();
   /// Mutation-entry guard: mutable graph + built indexes.
   Status CheckMutable() const;
   /// Staged endpoints must lie inside the current snapshot.
@@ -244,33 +233,34 @@ class AccessControlEngine {
 
   bool built_ = false;
   uint64_t snapshot_generation_ = 0;
-  /// Pending mutations relative to csr_. Evaluators and prefilter
-  /// wrappers hold its address, so queries observe staged edges without
-  /// any per-mutation rewiring.
+  /// Writer-side pending mutations relative to the current snapshot.
+  /// Each publish freezes a copy into the view; readers never touch
+  /// this object.
   DeltaOverlay overlay_;
-  CsrSnapshot csr_;
-  LineGraph lg_;
-  std::unique_ptr<LineReachabilityOracle> oracle_;
-  std::unique_ptr<ClusterJoinIndex> cluster_;
-  BaseTables tables_;
-  std::unique_ptr<TransitiveClosure> closure_;
 
-  std::unique_ptr<Evaluator> online_bfs_;
-  std::unique_ptr<Evaluator> online_dfs_;
-  std::unique_ptr<Evaluator> bidirectional_;
-  std::unique_ptr<Evaluator> join_;
-  // Closure-prefilter wrappers, one per wrapped base evaluator, built at
-  // compile time (not per request).
-  std::unordered_map<const Evaluator*, std::unique_ptr<Evaluator>>
-      prefiltered_;
+  /// Immutable bundles shared by published views (see read_view.h).
+  std::shared_ptr<const SnapshotIndexes> idx_;
+  std::shared_ptr<const PolicySnapshot> policy_;
 
-  // Eagerly bound rules, indexed by RuleId.
-  std::vector<CompiledRule> compiled_rules_;
+  /// View publication. std::atomic<std::shared_ptr> would be the
+  /// textbook spelling, but libstdc++'s implementation guards the raw
+  /// pointer with an embedded spinlock TSan cannot see through, so the
+  /// stress suite would drown in false positives. Instead: the slot is
+  /// a plain shared_ptr behind a mutex, and `publish_seq_` (bumped
+  /// after every store, release order) lets AcquireReadView serve a
+  /// per-thread cached copy without touching the mutex until the next
+  /// republication. Distinct engines at a recycled address are told
+  /// apart by `engine_id_`.
+  const uint64_t engine_id_;
+  std::atomic<uint64_t> publish_seq_{0};
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const AccessReadView> view_;  // guarded by view_mu_
 
-  // Audit ring.
-  std::vector<AccessDecision> audit_;
-  size_t audit_next_ = 0;
-  bool audit_wrapped_ = false;
+  /// Audit ring, shared by all reader threads.
+  mutable std::mutex audit_mu_;
+  mutable std::vector<AccessDecision> audit_;
+  mutable size_t audit_next_ = 0;
+  mutable bool audit_wrapped_ = false;
 };
 
 }  // namespace sargus

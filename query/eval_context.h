@@ -17,7 +17,12 @@
 /// at once. `Evaluator::Evaluate(q)` uses a thread-local context, which
 /// makes concurrent `Evaluate` calls on one shared const evaluator safe;
 /// callers that want explicit control (tests, benchmarks, reuse across
-/// evaluators) pass their own context via `Evaluate(q, ctx)`.
+/// evaluators) pass their own context via `Evaluate(q, ctx)`. The
+/// serving layer above follows the same split: a reader thread hammering
+/// an AccessReadView passes one context per thread (or relies on the
+/// thread-local default), and CheckAccessBatch reuses a single context
+/// across the whole batch — scratch is the only mutable state on the
+/// otherwise lock-free read path.
 
 #include <cstdint>
 #include <vector>

@@ -122,7 +122,7 @@ struct EngineFixture {
   }
 
   bool Granted(NodeId requester) {
-    auto r = engine->CheckAccess(requester, res);
+    auto r = engine->CheckAccess({.requester = requester, .resource = res});
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     return r.ok() && r->granted;
   }
@@ -229,7 +229,7 @@ TEST(EngineOverlay, AutoCompactionAtThreshold) {
 TEST(EngineOverlay, JoinIndexPlansRerouteToOnlineUnderOverlay) {
   EngineFixture f(MakeDiamond(), {"friend[1,2]/colleague[1]"}, /*owner=*/0,
                   {.evaluator = EvaluatorChoice::kAuto});
-  auto before = f.engine->CheckAccess(3, f.res);
+  auto before = f.engine->CheckAccess({.requester = 3, .resource = f.res});
   ASSERT_TRUE(before.ok());
   EXPECT_TRUE(before->granted);
   EXPECT_EQ(before->evaluator_name, "join-index");
@@ -238,7 +238,7 @@ TEST(EngineOverlay, JoinIndexPlansRerouteToOnlineUnderOverlay) {
   // search (the snapshot-only index is stale) and see the new edge.
   ASSERT_TRUE(f.engine->AddEdge(0, 5, "friend").ok());
   ASSERT_TRUE(f.engine->AddEdge(5, 5, "colleague").ok());
-  auto during = f.engine->CheckAccess(5, f.res);
+  auto during = f.engine->CheckAccess({.requester = 5, .resource = f.res});
   ASSERT_TRUE(during.ok());
   EXPECT_TRUE(during->granted);  // 0 -f-> 5 -c-> 5
   EXPECT_EQ(during->evaluator_name, "online-bfs");
@@ -246,7 +246,7 @@ TEST(EngineOverlay, JoinIndexPlansRerouteToOnlineUnderOverlay) {
 
   // Compaction brings the join index back online with the new edges.
   ASSERT_TRUE(f.engine->Compact().ok());
-  auto after = f.engine->CheckAccess(5, f.res);
+  auto after = f.engine->CheckAccess({.requester = 5, .resource = f.res});
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after->granted);
   EXPECT_EQ(after->evaluator_name, "join-index");
@@ -263,7 +263,7 @@ TEST(EngineOverlay, ClosurePrefilterSuspendedByPendingInsertions) {
                   {.evaluator = EvaluatorChoice::kOnlineBfs,
                    .use_closure_prefilter = true});
   // Disconnected: the closure fast-denies.
-  auto denied = f.engine->CheckAccess(3, f.res);
+  auto denied = f.engine->CheckAccess({.requester = 3, .resource = f.res});
   ASSERT_TRUE(denied.ok());
   EXPECT_FALSE(denied->granted);
   EXPECT_GE(denied->stats.prefilter_rejections, 1u);
@@ -271,14 +271,14 @@ TEST(EngineOverlay, ClosurePrefilterSuspendedByPendingInsertions) {
   // A pending insertion bridges the components. The stale closure still
   // says "unreachable" — the prefilter must stand down, not fast-deny.
   ASSERT_TRUE(f.engine->AddEdge(1, 2, "friend").ok());
-  auto granted = f.engine->CheckAccess(3, f.res);
+  auto granted = f.engine->CheckAccess({.requester = 3, .resource = f.res});
   ASSERT_TRUE(granted.ok());
   EXPECT_TRUE(granted->granted);  // 0 -f-> 1 -f-> 2 -f-> 3
   EXPECT_EQ(granted->stats.prefilter_rejections, 0u);
 
   // After compaction the closure covers the bridge; still granted.
   ASSERT_TRUE(f.engine->Compact().ok());
-  auto after = f.engine->CheckAccess(3, f.res);
+  auto after = f.engine->CheckAccess({.requester = 3, .resource = f.res});
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after->granted);
 }
@@ -295,7 +295,7 @@ TEST(EngineOverlay, ClosurePrefilterStaysActiveUnderPureDeletions) {
                    .use_closure_prefilter = true});
   ASSERT_TRUE(f.engine->RemoveEdge(2, 3, "friend").ok());
   ASSERT_TRUE(f.engine->overlay().has_deletions());
-  auto denied = f.engine->CheckAccess(3, f.res);
+  auto denied = f.engine->CheckAccess({.requester = 3, .resource = f.res});
   ASSERT_TRUE(denied.ok());
   EXPECT_FALSE(denied->granted);
   // The fast-deny path still fires (deny pruning stays valid).
@@ -381,7 +381,7 @@ TEST(EngineOverlay, RandomizedInterleavedMutationsAgreeWithOracle) {
   auto check_all = [&](const char* when) {
     for (size_t i = 0; i < resources.size(); ++i) {
       for (NodeId req = 0; req < g.NumNodes(); ++req) {
-        auto r = engine.CheckAccess(req, resources[i].id);
+        auto r = engine.CheckAccess({.requester = req, .resource = resources[i].id});
         ASSERT_TRUE(r.ok()) << when << ": " << r.status().ToString();
         bool expected = resources[i].owner == req;
         for (const auto& expr : bound[i]) {
@@ -414,7 +414,7 @@ TEST(EngineOverlay, RandomizedInterleavedMutationsAgreeWithOracle) {
     } else {  // spot-check a random decision
       const size_t i = rng.NextBounded(resources.size());
       const NodeId req = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
-      auto r = engine.CheckAccess(req, resources[i].id);
+      auto r = engine.CheckAccess({.requester = req, .resource = resources[i].id});
       ASSERT_TRUE(r.ok()) << r.status().ToString();
       bool expected = resources[i].owner == req;
       for (const auto& expr : bound[i]) {

@@ -52,12 +52,12 @@ TEST_F(EngineTest, GrantAndDenyAcrossEvaluatorChoices) {
     AccessControlEngine engine(g_, store_, opts);
     ASSERT_TRUE(engine.RebuildIndexes().ok());
     // Node 3 is in the audience of owner 0 (0-f->4-c->3).
-    auto granted = engine.CheckAccess(3, photo);
+    auto granted = engine.CheckAccess({.requester = 3, .resource = photo});
     ASSERT_TRUE(granted.ok());
     EXPECT_TRUE(granted->granted) << static_cast<int>(choice);
     EXPECT_TRUE(granted->matched_rule.has_value());
     // Node 2 is not (no colleague edge ends at 2).
-    auto denied = engine.CheckAccess(2, photo);
+    auto denied = engine.CheckAccess({.requester = 2, .resource = photo});
     ASSERT_TRUE(denied.ok());
     EXPECT_FALSE(denied->granted) << static_cast<int>(choice);
     EXPECT_FALSE(denied->matched_rule.has_value());
@@ -68,12 +68,12 @@ TEST_F(EngineTest, OwnerAlwaysGranted) {
   const ResourceId secret = store_.RegisterResource(2, "secret");
   AccessControlEngine engine(g_, store_);
   ASSERT_TRUE(engine.RebuildIndexes().ok());
-  auto r = engine.CheckAccess(2, secret);
+  auto r = engine.CheckAccess({.requester = 2, .resource = secret});
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->granted);
   EXPECT_TRUE(r->owner_access);
   // No rules: everyone else is denied.
-  auto other = engine.CheckAccess(0, secret);
+  auto other = engine.CheckAccess({.requester = 0, .resource = secret});
   ASSERT_TRUE(other.ok());
   EXPECT_FALSE(other->granted);
 }
@@ -85,7 +85,7 @@ TEST_F(EngineTest, RuleDisjunction) {
   ASSERT_TRUE(store_.AddRuleFromPaths(album, {"friend[1]"}).ok());
   AccessControlEngine engine(g_, store_);
   ASSERT_TRUE(engine.RebuildIndexes().ok());
-  auto r = engine.CheckAccess(1, album);
+  auto r = engine.CheckAccess({.requester = 1, .resource = album});
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->granted);
   ASSERT_TRUE(r->matched_rule.has_value());
@@ -100,7 +100,7 @@ TEST_F(EngineTest, BackwardPolicyNeedsBackwardLineGraph) {
   // search: still correct.
   AccessControlEngine engine(g_, store_);
   ASSERT_TRUE(engine.RebuildIndexes().ok());
-  auto r = engine.CheckAccess(0, res);  // edge 0-f->1 reversed
+  auto r = engine.CheckAccess({.requester = 0, .resource = res});  // edge 0-f->1 reversed
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->granted);
 
@@ -109,7 +109,7 @@ TEST_F(EngineTest, BackwardPolicyNeedsBackwardLineGraph) {
   join_opts.evaluator = EvaluatorChoice::kJoinIndex;
   AccessControlEngine join_engine(g_, store_, join_opts);
   ASSERT_TRUE(join_engine.RebuildIndexes().ok());
-  auto bad = join_engine.CheckAccess(0, res);
+  auto bad = join_engine.CheckAccess({.requester = 0, .resource = res});
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
 
@@ -117,7 +117,7 @@ TEST_F(EngineTest, BackwardPolicyNeedsBackwardLineGraph) {
   join_opts.line_graph_backward = true;
   AccessControlEngine ok_engine(g_, store_, join_opts);
   ASSERT_TRUE(ok_engine.RebuildIndexes().ok());
-  auto good = ok_engine.CheckAccess(0, res);
+  auto good = ok_engine.CheckAccess({.requester = 0, .resource = res});
   ASSERT_TRUE(good.ok());
   EXPECT_TRUE(good->granted);
 }
@@ -131,11 +131,11 @@ TEST_F(EngineTest, RulePathErrorDoesNotMaskLaterGrant) {
   opts.evaluator = EvaluatorChoice::kJoinIndex;  // no backward line graph
   AccessControlEngine engine(g_, store_, opts);
   ASSERT_TRUE(engine.RebuildIndexes().ok());
-  auto granted = engine.CheckAccess(1, res);
+  auto granted = engine.CheckAccess({.requester = 1, .resource = res});
   ASSERT_TRUE(granted.ok()) << granted.status().ToString();
   EXPECT_TRUE(granted->granted);
   // When nothing grants, the evaluation error stays loud.
-  auto err = engine.CheckAccess(3, res);
+  auto err = engine.CheckAccess({.requester = 3, .resource = res});
   ASSERT_FALSE(err.ok());
   EXPECT_EQ(err.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -145,17 +145,81 @@ TEST_F(EngineTest, WitnessAndPrefilter) {
   ASSERT_TRUE(
       store_.AddRuleFromPaths(res, {"friend[1,2]/colleague[1]"}).ok());
   EngineOptions opts;
-  opts.want_witness = true;
   opts.use_closure_prefilter = true;
   AccessControlEngine engine(g_, store_, opts);
   ASSERT_TRUE(engine.RebuildIndexes().ok());
 
-  auto r = engine.CheckAccess(3, res);
+  // Witness is per request now, not an engine-wide option.
+  auto r = engine.CheckAccess(
+      {.requester = 3, .resource = res, .want_witness = true});
   ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r->granted);
   ASSERT_GE(r->witness.size(), 3u);
   EXPECT_EQ(r->witness.front(), 0u);
   EXPECT_EQ(r->witness.back(), 3u);
+
+  // The same grant without the flag carries no witness.
+  auto bare = engine.CheckAccess({.requester = 3, .resource = res});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->granted);
+  EXPECT_TRUE(bare->witness.empty());
+}
+
+TEST_F(EngineTest, PerRequestEvaluatorOverride) {
+  const ResourceId res = store_.RegisterResource(0, "res");
+  ASSERT_TRUE(
+      store_.AddRuleFromPaths(res, {"friend[1,2]/colleague[1]"}).ok());
+  AccessControlEngine engine(g_, store_);  // kAuto: join index serves this
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+
+  auto by_default = engine.CheckAccess({.requester = 3, .resource = res});
+  ASSERT_TRUE(by_default.ok());
+  EXPECT_TRUE(by_default->granted);
+  EXPECT_EQ(by_default->evaluator_name, "join-index");
+
+  // Same decision, different engine, chosen per request.
+  for (EvaluatorChoice choice :
+       {EvaluatorChoice::kOnlineBfs, EvaluatorChoice::kOnlineDfs,
+        EvaluatorChoice::kBidirectional}) {
+    auto r = engine.CheckAccess(
+        {.requester = 3, .resource = res, .evaluator_override = choice});
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->granted) << static_cast<int>(choice);
+    EXPECT_NE(r->evaluator_name, "join-index");
+  }
+
+  // Forcing the join index on an online-only configuration (which never
+  // built the join stack) fails loudly when nothing grants.
+  AccessControlEngine online(g_, store_,
+                             {.evaluator = EvaluatorChoice::kOnlineBfs});
+  ASSERT_TRUE(online.RebuildIndexes().ok());
+  auto denied = online.CheckAccess(
+      {.requester = 2,
+       .resource = res,
+       .evaluator_override = EvaluatorChoice::kJoinIndex});
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kFailedPrecondition);
+  // A granted owner request never consults an evaluator at all.
+  auto owner = online.CheckAccess(
+      {.requester = 0,
+       .resource = res,
+       .evaluator_override = EvaluatorChoice::kJoinIndex});
+  ASSERT_TRUE(owner.ok());
+  EXPECT_TRUE(owner->owner_access);
+}
+
+TEST_F(EngineTest, DeprecatedPositionalShimAgrees) {
+  const ResourceId res = store_.RegisterResource(0, "res");
+  ASSERT_TRUE(store_.AddRuleFromPaths(res, {"friend[1]"}).ok());
+  AccessControlEngine engine(g_, store_);
+  ASSERT_TRUE(engine.RebuildIndexes().ok());
+  for (NodeId req = 0; req < 6; ++req) {
+    auto old_api = engine.CheckAccess(req, res);
+    auto new_api = engine.CheckAccess({.requester = req, .resource = res});
+    ASSERT_TRUE(old_api.ok());
+    ASSERT_TRUE(new_api.ok());
+    EXPECT_EQ(old_api->granted, new_api->granted) << req;
+  }
 }
 
 TEST_F(EngineTest, ErrorsAndPreconditions) {
@@ -163,9 +227,9 @@ TEST_F(EngineTest, ErrorsAndPreconditions) {
   AccessControlEngine engine(g_, store_);
   // Unknown resource.
   ASSERT_TRUE(engine.RebuildIndexes().ok());
-  EXPECT_EQ(engine.CheckAccess(1, 42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.CheckAccess({.requester = 1, .resource = 42}).status().code(), StatusCode::kNotFound);
   // Requester out of range.
-  EXPECT_EQ(engine.CheckAccess(99, res).status().code(),
+  EXPECT_EQ(engine.CheckAccess({.requester = 99, .resource = res}).status().code(),
             StatusCode::kInvalidArgument);
   // CheckAccess before RebuildIndexes.
   AccessControlEngine cold(g_, store_);
@@ -181,7 +245,7 @@ TEST_F(EngineTest, AuditTrailRecordsDecisions) {
   AccessControlEngine engine(g_, store_, opts);
   ASSERT_TRUE(engine.RebuildIndexes().ok());
   for (NodeId r = 1; r <= 5; ++r) {
-    ASSERT_TRUE(engine.CheckAccess(r, res).ok());
+    ASSERT_TRUE(engine.CheckAccess({.requester = r, .resource = res}).ok());
   }
   const auto trail = engine.AuditTrail();
   ASSERT_EQ(trail.size(), 3u);  // capped
