@@ -1,5 +1,6 @@
 #include "engine/access_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace sargus {
@@ -43,11 +44,19 @@ AccessControlEngine::AccessControlEngine(SocialGraph& graph,
       options_(options),
       engine_id_(NextEngineId()) {}
 
-AccessControlEngine::~AccessControlEngine() = default;
+AccessControlEngine::~AccessControlEngine() {
+  {
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    comp_shutdown_ = true;
+  }
+  comp_cv_.notify_all();
+  if (comp_thread_.joinable()) comp_thread_.join();
+}
 
 void AccessControlEngine::PublishView() {
-  auto view = AccessReadView::Create(*graph_, idx_, policy_, overlay_,
-                                     options_, snapshot_generation_);
+  auto view = AccessReadView::Create(
+      *graph_, idx_, policy_, overlay_, options_,
+      snapshot_generation_.load(std::memory_order_relaxed));
   {
     std::lock_guard<std::mutex> lock(view_mu_);
     view_ = std::move(view);
@@ -94,11 +103,22 @@ bool AccessControlEngine::RefreshPolicySnapshotIfStale() {
   return true;
 }
 
-Status AccessControlEngine::RebuildIndexes() {
+void AccessControlEngine::RecomputeEffectiveThreshold() {
+  if (options_.compact_threshold == EngineOptions::kCompactThresholdAuto) {
+    effective_compact_threshold_ =
+        std::max<size_t>(1024, idx_->csr.NumEdges() / 16);
+  } else {
+    effective_compact_threshold_ = options_.compact_threshold;
+  }
+}
+
+Status AccessControlEngine::RebuildIndexesLocked() {
   built_ = false;
-  // The overlay is relative to the snapshot being replaced; staged
-  // mutations that should survive must go through Compact() instead.
+  // The overlay (and any replay journal) is relative to the snapshot
+  // being replaced; staged mutations that should survive must go
+  // through Compact() instead.
   overlay_.Clear();
+  journal_.clear();
   auto idx = SnapshotIndexes::Build(*graph_, options_);
   if (!idx.ok()) return idx.status();
   idx_ = std::move(*idx);
@@ -107,12 +127,23 @@ Status AccessControlEngine::RebuildIndexes() {
   // auto picks depend on the new bundle.
   policy_ = PolicySnapshot::Build(*store_, *graph_, *idx_, options_);
   built_ = true;
-  ++snapshot_generation_;
+  snapshot_generation_.fetch_add(1, std::memory_order_release);
+  RecomputeEffectiveThreshold();
   PublishView();
   return OkStatus();
 }
 
+Status AccessControlEngine::RebuildIndexes() {
+  // Drain the pipeline first: a build in flight references the bundle
+  // and overlay this rebuild replaces, and its completion would fold
+  // staged state the contract says a rebuild discards.
+  WaitForCompaction();
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  return RebuildIndexesLocked();
+}
+
 Status AccessControlEngine::RefreshPolicies() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   if (!built_) {
     return Status::FailedPrecondition(
         "RefreshPolicies: call RebuildIndexes() first");
@@ -136,10 +167,16 @@ Status AccessControlEngine::CheckMutable() const {
   return OkStatus();
 }
 
-// Walker visited arrays are sized to the snapshot, so staged endpoints
-// must exist in it (nodes added after the rebuild need a rebuild).
+size_t AccessControlEngine::LogicalNumNodesLocked() const {
+  return idx_->csr.NumNodes() + overlay_.num_staged_nodes();
+}
+
+// Walker visited arrays are sized to snapshot + staged nodes, so staged
+// endpoints must lie inside that logical range (anything else needs
+// AddNode first).
 Status AccessControlEngine::CheckEndpoints(NodeId src, NodeId dst) const {
-  if (src >= idx_->csr.NumNodes() || dst >= idx_->csr.NumNodes()) {
+  const size_t n = LogicalNumNodesLocked();
+  if (src >= n || dst >= n) {
     return Status::InvalidArgument(
         "edge mutation: endpoint outside the current snapshot");
   }
@@ -148,6 +185,7 @@ Status AccessControlEngine::CheckEndpoints(NodeId src, NodeId dst) const {
 
 Status AccessControlEngine::AddEdge(NodeId src, NodeId dst,
                                     const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   // Validate fully *before* interning: a failed AddEdge must leave the
   // graph (including its label dictionary) untouched.
@@ -164,6 +202,7 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst,
 }
 
 Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   if (label >= graph_->labels().size()) {
     return Status::InvalidArgument("AddEdge: unknown label id");
@@ -174,6 +213,7 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
 
 Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
                                        const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   const LabelId id = graph_->labels().Lookup(label);
   if (id == kInvalidLabel) {
@@ -184,12 +224,25 @@ Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
 }
 
 Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   if (label >= graph_->labels().size()) {
     return Status::NotFound("RemoveEdge: unknown label id");
   }
   SARGUS_RETURN_IF_ERROR(StageRemoveEdge(src, dst, label));
   return FinishMutation();
+}
+
+Result<NodeId> AccessControlEngine::AddNode() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  SARGUS_RETURN_IF_ERROR(CheckMutable());
+  const NodeId id = static_cast<NodeId>(LogicalNumNodesLocked());
+  (void)overlay_.StageNode();
+  if (building_) {
+    journal_.push_back({JournalOp::Kind::kAddNode, 0, 0, kInvalidLabel});
+  }
+  SARGUS_RETURN_IF_ERROR(FinishMutation());
+  return id;
 }
 
 Status AccessControlEngine::StageAddEdge(NodeId src, NodeId dst,
@@ -199,27 +252,39 @@ Status AccessControlEngine::StageAddEdge(NodeId src, NodeId dst,
   if (in_base) {
     // Present in the snapshot: visible unless masked by a staged remove.
     (void)overlay_.UnstageRemove(src, dst, label);
-    return OkStatus();
+  } else {
+    (void)overlay_.StageAdd(src, dst, label);  // idempotent
   }
-  (void)overlay_.StageAdd(src, dst, label);  // idempotent
+  if (building_) {
+    journal_.push_back({JournalOp::Kind::kAddEdge, src, dst, label});
+  }
   return OkStatus();
 }
 
 Status AccessControlEngine::StageRemoveEdge(NodeId src, NodeId dst,
                                             LabelId label) {
-  if (overlay_.UnstageAdd(src, dst, label)) return OkStatus();
-  const bool in_base = graph_->FindEdge(src, dst, label).has_value();
-  if (!in_base || overlay_.IsStagedRemove(src, dst, label)) {
-    return Status::NotFound("RemoveEdge: no such logical edge");
+  if (!overlay_.UnstageAdd(src, dst, label)) {
+    const bool in_base = graph_->FindEdge(src, dst, label).has_value();
+    if (!in_base || overlay_.IsStagedRemove(src, dst, label)) {
+      return Status::NotFound("RemoveEdge: no such logical edge");
+    }
+    (void)overlay_.StageRemove(src, dst, label);
   }
-  (void)overlay_.StageRemove(src, dst, label);
+  if (building_) {
+    journal_.push_back({JournalOp::Kind::kRemoveEdge, src, dst, label});
+  }
   return OkStatus();
 }
 
 Status AccessControlEngine::FinishMutation() {
-  if (options_.compact_threshold != 0 &&
-      overlay_.size() >= options_.compact_threshold) {
-    return Compact();  // publishes via RebuildIndexes
+  if (effective_compact_threshold_ != 0 &&
+      overlay_.size() >= effective_compact_threshold_ && !building_) {
+    if (!options_.background_compaction) {
+      return CompactBlockingLocked();  // publishes
+    }
+    // Kick the build and fall through: the staged mutation must be
+    // visible now, on a view over the *current* snapshot.
+    StartBackgroundCompactionLocked();
   }
   // Pick up any rules/resources registered since the last publish, then
   // publish a view carrying the new frozen overlay.
@@ -228,29 +293,218 @@ Status AccessControlEngine::FinishMutation() {
   return OkStatus();
 }
 
+// ---- Compaction -------------------------------------------------------------
+
+Result<std::shared_ptr<const SnapshotIndexes>>
+AccessControlEngine::BuildNextBundle(const CompactionJob& job,
+                                     bool* incremental) const {
+  *incremental = false;
+  auto patched = SnapshotIndexes::BuildIncremental(
+      *job.prev_idx, *graph_, job.frozen, job.first_new_edge, options_);
+  if (!patched.ok()) return patched.status();
+  if (*patched != nullptr) {
+    *incremental = true;
+    return patched;
+  }
+  return SnapshotIndexes::BuildMerged(*graph_, job.frozen, job.first_new_edge,
+                                      options_);
+}
+
+void AccessControlEngine::FoldOverlayIntoGraph(const DeltaOverlay& frozen) {
+  // Nodes first (staged edges may name them), then removals, then
+  // additions — additions in the frozen copy's iteration order, which
+  // is the order BuildMerged predicted their edge ids in, so the ids
+  // the graph assigns here match the bundle already built against it.
+  if (frozen.num_staged_nodes() > 0) {
+    (void)mutable_graph_->AddNodes(frozen.num_staged_nodes());
+  }
+  frozen.ForEachRemoved([&](const DeltaOverlay::EdgeTriple& t) {
+    auto id = mutable_graph_->FindEdge(t.src, t.dst, t.label);
+    if (id.has_value()) (void)mutable_graph_->RemoveEdge(*id);
+  });
+  frozen.ForEachAdded([&](const DeltaOverlay::EdgeTriple& t) {
+    (void)mutable_graph_->AddEdge(t.src, t.dst, t.label);
+  });
+}
+
+Status AccessControlEngine::CompactBlockingLocked() {
+  CompactionJob job;
+  job.prev_idx = idx_;
+  job.frozen = overlay_;
+  job.first_new_edge = static_cast<EdgeId>(graph_->EdgeSlotCount());
+  bool incremental = false;
+  auto bundle = BuildNextBundle(job, &incremental);
+  if (!bundle.ok()) return bundle.status();
+
+  FoldOverlayIntoGraph(job.frozen);
+  idx_ = std::move(*bundle);
+  snapshot_generation_.fetch_add(1, std::memory_order_release);
+  overlay_.Clear();
+  journal_.clear();
+  (incremental ? incremental_compactions_ : full_compactions_) += 1;
+  // Full policy rebuild: we are on the external writer's thread, where
+  // reading the store is safe — and fresh labels may fix failed binds.
+  policy_ = PolicySnapshot::Build(*store_, *graph_, *idx_, options_);
+  RecomputeEffectiveThreshold();
+  PublishView();
+  return OkStatus();
+}
+
+void AccessControlEngine::StartBackgroundCompactionLocked() {
+  CompactionJob job;
+  job.prev_idx = idx_;
+  job.frozen = overlay_;  // the freeze: an O(overlay) copy, flat in |V|
+  job.first_new_edge = static_cast<EdgeId>(graph_->EdgeSlotCount());
+  building_ = true;
+  journal_.clear();
+  {
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    if (!comp_thread_.joinable()) {
+      comp_thread_ = std::thread(&AccessControlEngine::CompactionWorker, this);
+    }
+    comp_job_ = std::move(job);
+    comp_state_ = CompState::kQueued;
+  }
+  comp_cv_.notify_all();
+}
+
+std::optional<AccessControlEngine::CompactionJob>
+AccessControlEngine::FinishCompactionLocked(
+    CompactionJob& job, std::shared_ptr<const SnapshotIndexes> bundle,
+    bool incremental) {
+  FoldOverlayIntoGraph(job.frozen);
+  idx_ = std::move(bundle);
+  snapshot_generation_.fetch_add(1, std::memory_order_release);
+
+  // Replay the mutations staged during the build against the folded
+  // graph: re-running the staging logic in order re-derives the overlay
+  // relative to the *new* snapshot (an op that duplicated a folded edge
+  // turns into a no-op, a removal of one into a staged remove, and so
+  // on). Version continuity keeps (generation, version) stamps unique.
+  building_ = false;  // replay below must not re-journal
+  const uint64_t version_base = overlay_.version();
+  overlay_ = DeltaOverlay();
+  overlay_.version_ = version_base;
+  for (const JournalOp& op : journal_) {
+    switch (op.kind) {
+      case JournalOp::Kind::kAddNode:
+        (void)overlay_.StageNode();
+        break;
+      case JournalOp::Kind::kAddEdge:
+        (void)StageAddEdge(op.src, op.dst, op.label);
+        break;
+      case JournalOp::Kind::kRemoveEdge:
+        (void)StageRemoveEdge(op.src, op.dst, op.label);
+        break;
+    }
+  }
+  journal_.clear();
+  (incremental ? incremental_compactions_ : full_compactions_) += 1;
+  last_compaction_status_ = OkStatus();
+
+  // Auto picks depend on the new bundle; recompute them from the frozen
+  // policy snapshot WITHOUT touching the store (rule registration on
+  // the user's thread must not race this thread — store changes surface
+  // at the next external write-path publish).
+  policy_ = PolicySnapshot::WithAutoPicks(*policy_, *idx_, options_);
+  RecomputeEffectiveThreshold();
+  PublishView();
+
+  // Chain a follow-up build when the journal leftovers still demand one
+  // (an explicit Compact() arrived mid-build, or they already trip the
+  // threshold); the writer never has to re-trigger.
+  const bool chain =
+      !overlay_.empty() &&
+      (recompact_requested_ || (effective_compact_threshold_ != 0 &&
+                                overlay_.size() >= effective_compact_threshold_));
+  recompact_requested_ = false;
+  if (!chain) return std::nullopt;
+  CompactionJob next;
+  next.prev_idx = idx_;
+  next.frozen = overlay_;
+  next.first_new_edge = static_cast<EdgeId>(graph_->EdgeSlotCount());
+  building_ = true;
+  journal_.clear();
+  return next;
+}
+
+void AccessControlEngine::CompactionWorker() {
+  for (;;) {
+    CompactionJob job;
+    {
+      std::unique_lock<std::mutex> lock(comp_mu_);
+      comp_cv_.wait(lock, [&] {
+        return comp_shutdown_ || comp_state_ == CompState::kQueued;
+      });
+      if (comp_state_ != CompState::kQueued) return;  // shutdown, idle
+      comp_state_ = CompState::kBuilding;
+      job = std::move(comp_job_);
+    }
+    if (comp_build_hook_) comp_build_hook_();
+    // The expensive part, off every lock: the writer keeps staging (and
+    // journaling) mutations, readers keep serving published views. The
+    // graph object is stable during the build — staging never writes
+    // it, and only this thread folds.
+    bool incremental = false;
+    auto bundle = BuildNextBundle(job, &incremental);
+    std::optional<CompactionJob> next;
+    {
+      std::lock_guard<std::mutex> lock(mutation_mu_);
+      if (bundle.ok()) {
+        next = FinishCompactionLocked(job, std::move(*bundle), incremental);
+      } else {
+        // Leave the old snapshot serving; the overlay (still relative
+        // to it, journal included) is intact, so nothing is lost and a
+        // later Compact() retries.
+        last_compaction_status_ = bundle.status();
+        building_ = false;
+        recompact_requested_ = false;
+        journal_.clear();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(comp_mu_);
+      if (next.has_value()) {
+        // A chained job: the writer cannot have queued one meanwhile
+        // (building_ stayed true, which gates StartBackground...).
+        comp_job_ = std::move(*next);
+        comp_state_ = CompState::kQueued;  // loop picks it right up
+      } else if (comp_state_ == CompState::kBuilding) {
+        comp_state_ = CompState::kIdle;
+      }
+      // else: the writer queued a fresh job in the gap between this
+      // thread releasing mutation_mu_ and taking comp_mu_ — leave it
+      // kQueued (overwriting to kIdle would drop the job and wedge the
+      // pipeline with building_ stuck true).
+    }
+    comp_cv_.notify_all();
+  }
+}
+
 Status AccessControlEngine::Compact() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   if (overlay_.empty()) return OkStatus();
-  // Fold the overlay into the system of record. Removals first so an
-  // (unusual) same-triple remove+add sequence cannot resurrect the
-  // tombstoned slot's id ordering assumptions. In-flight readers are
-  // unaffected: views read the graph's node count and attribute columns
-  // only, never its edge storage.
-  Status apply = OkStatus();
-  overlay_.ForEachRemoved([&](const DeltaOverlay::EdgeTriple& t) {
-    auto id = mutable_graph_->FindEdge(t.src, t.dst, t.label);
-    if (!id.has_value()) return;  // base edge vanished externally
-    Status s = mutable_graph_->RemoveEdge(*id);
-    if (apply.ok() && !s.ok()) apply = s;
-  });
-  overlay_.ForEachAdded([&](const DeltaOverlay::EdgeTriple& t) {
-    auto r = mutable_graph_->AddEdge(t.src, t.dst, t.label);
-    if (apply.ok() && !r.ok()) apply = r.status();
-  });
-  if (!apply.ok()) return apply;
-  // RebuildIndexes clears the (now folded-in) overlay, re-snapshots, and
-  // publishes the compacted view.
-  return RebuildIndexes();
+  if (!options_.background_compaction) return CompactBlockingLocked();
+  if (building_) {
+    // A build is in flight; have its completion chain a follow-up that
+    // folds everything staged meanwhile. WaitForCompaction() drains
+    // the whole chain.
+    recompact_requested_ = true;
+    return OkStatus();
+  }
+  StartBackgroundCompactionLocked();
+  return OkStatus();
+}
+
+void AccessControlEngine::WaitForCompaction() {
+  std::unique_lock<std::mutex> lock(comp_mu_);
+  comp_cv_.wait(lock, [&] { return comp_state_ == CompState::kIdle; });
+}
+
+bool AccessControlEngine::compaction_in_flight() const {
+  std::lock_guard<std::mutex> lock(comp_mu_);
+  return comp_state_ != CompState::kIdle;
 }
 
 // ---- Read path --------------------------------------------------------------
@@ -282,14 +536,6 @@ Result<AccessDecision> AccessControlEngine::CheckAccess(
   auto decision = view->CheckAccess(request);
   if (decision.ok()) RecordAudit(*decision);
   return decision;
-}
-
-Result<AccessDecision> AccessControlEngine::CheckAccess(
-    NodeId requester, ResourceId resource) const {
-  AccessRequest request;
-  request.requester = requester;
-  request.resource = resource;
-  return CheckAccess(request);
 }
 
 std::vector<Result<AccessDecision>> AccessControlEngine::CheckAccessBatch(

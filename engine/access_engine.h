@@ -16,25 +16,41 @@
 ///    `AcquireReadView()` hands the view out directly for callers that
 ///    want to pin one state across many calls (or skip the audit ring's
 ///    mutex entirely);
-///  * a **write path** — RebuildIndexes, AddEdge/RemoveEdge, Compact,
-///    RefreshPolicies — that builds the *next* view off the serving path
-///    and publishes it with an atomic swap. In-flight readers drain on
-///    the old view, which keeps answering against its frozen state for
-///    as long as anyone holds it.
+///  * a **write path** — RebuildIndexes, AddEdge/RemoveEdge, AddNode,
+///    Compact, RefreshPolicies — that builds the *next* view off the
+///    serving path and publishes it with an atomic swap. In-flight
+///    readers drain on the old view, which keeps answering against its
+///    frozen state for as long as anyone holds it.
 ///
 /// Lifecycle: construct, RebuildIndexes(), serve. Graph mutations go
-/// through the engine's AddEdge/RemoveEdge (requires the mutable-graph
-/// constructor): each is an O(overlay) staged write — a DeltaOverlay
-/// delta plus a republished view carrying a frozen overlay copy —
-/// visible to the very next acquired view, never a rebuild
+/// through the engine's AddEdge/RemoveEdge/AddNode (requires the
+/// mutable-graph constructor): each is an O(overlay) staged write — a
+/// DeltaOverlay delta plus a republished view carrying a frozen overlay
+/// copy — visible to the very next acquired view, never a rebuild
 /// (bench_dynamic.cc charts the cost model: flat in |V|, linear only in
-/// the bounded overlay size). When the overlay exceeds
-/// EngineOptions::compact_threshold, the engine automatically
-/// Compact()s: folds the staged mutations into the SocialGraph, clears
-/// the overlay, and rebuilds every snapshot index.
+/// the bounded overlay size). When the overlay exceeds the effective
+/// compaction threshold (EngineOptions::compact_threshold; the default
+/// scales as max(1024, |E|/16)), the engine automatically Compact()s.
 /// kOnlineBfs/kOnlineDfs/kBidirectional only need the CSR; kJoinIndex
 /// needs the whole stack and fails with kFailedPrecondition if it is
 /// missing.
+///
+/// Compaction model (double-buffered, see docs/ARCHITECTURE.md): with
+/// EngineOptions::background_compaction (the default), `Compact()` —
+/// explicit or threshold-triggered — freezes a copy of the overlay and
+/// returns immediately; a dedicated compaction thread builds the next
+/// SnapshotIndexes bundle against graph ⊕ frozen-overlay (incrementally
+/// patched when the delta is insertion-only and small — see
+/// SnapshotIndexes::BuildIncremental — else a full rebuild) while the
+/// writer keeps staging mutations, which are also recorded in a replay
+/// journal. On completion the compaction thread briefly takes the
+/// writer lock, folds the frozen overlay into the SocialGraph, swaps in
+/// the new bundle, replays the journal into a fresh overlay relative to
+/// the new snapshot, and publishes — so neither readers nor the writer
+/// ever stall on an index rebuild. `WaitForCompaction()` blocks until
+/// the pipeline is idle (tests and benchmarks use it for determinism);
+/// with background_compaction off, Compact() performs the whole fold +
+/// rebuild synchronously before returning.
 ///
 /// Snapshot-consistency contract: every published view owns the pairing
 /// between its snapshot indexes and its frozen overlay. While a view's
@@ -47,32 +63,54 @@
 /// SocialGraph directly (rather than through the engine) breaks this
 /// pairing; call RebuildIndexes again if you must.
 ///
+/// Node growth: `AddNode()` stages a node addition through the overlay —
+/// the returned id is queryable (as requester, resource owner, or edge
+/// endpoint of further staged mutations) on the very next view, no
+/// RebuildIndexes required — and compaction folds staged nodes into the
+/// SocialGraph with the same ids. Staged nodes carry no attributes until
+/// folded. Views published *before* the AddNode reject the new id with
+/// kInvalidArgument (their scratch arrays are sized to their own frozen
+/// snapshot), as does any request naming a node the serving view has
+/// never seen.
+///
 /// Thread-safety contract (single-writer / multi-reader):
 ///
 ///  * READERS — `CheckAccess`, `CheckAccessBatch`, `AcquireReadView`,
 ///    `AuditTrail` and every AccessReadView method are safe to call from
 ///    any number of threads concurrently, including concurrently with
-///    one writer. The view read path takes no lock; the engine facade
-///    additionally locks a small mutex per decision to feed the audit
-///    ring (set audit_capacity = 0 to remove that too).
-///  * WRITERS — `RebuildIndexes`, `AddEdge`, `RemoveEdge`, `Compact`,
-///    `RefreshPolicies` must be externally serialized against each
-///    other: at most one writer at a time. They never block readers.
+///    one writer and with the compaction thread. The view read path
+///    takes no lock; the engine facade additionally locks a small mutex
+///    per decision to feed the audit ring (set audit_capacity = 0 to
+///    remove that too).
+///  * WRITERS — `RebuildIndexes`, `AddEdge`, `RemoveEdge`, `AddNode`,
+///    `Compact`, `RefreshPolicies`, `WaitForCompaction` must be
+///    externally serialized against each other: at most one external
+///    writer at a time. They never block readers. The engine's own
+///    compaction thread acts as a second, *internal* writer only for
+///    the brief completion swap; an internal mutex serializes it
+///    against the external writer, so writer calls remain safe (and
+///    cheap — the expensive build runs outside any lock) while a
+///    compaction is in flight.
 ///  * OUT OF SCOPE — mutating the SocialGraph or PolicyStore objects
 ///    directly (AddNode, SetAttribute, AddRuleFromPaths, ...) while
 ///    readers are in flight is not synchronized by the engine; quiesce
 ///    readers (or serialize externally) and follow with
-///    RebuildIndexes/RefreshPolicies. Compact() is safe concurrently
-///    with readers because in-flight views read only the graph's node
-///    count and attribute columns, which compaction never touches.
+///    RebuildIndexes/RefreshPolicies. Compaction is safe concurrently
+///    with readers because in-flight views read the graph only through
+///    size-bounded attribute-column lookups, which folding staged nodes
+///    and edges never disturbs.
 ///
-/// Generation counters: snapshot_generation() increments on every
-/// successful RebuildIndexes (including those triggered by Compact), and
-/// overlay_version() on every staged mutation. Both are frozen into each
-/// published view and stamped into every AccessDecision, so callers
-/// (and the reader/mutator stress test) can tell exactly which published
-/// state a decision saw. The engine-level accessors read writer-side
-/// state — call them from the writer, or read the stamps off a view.
+/// Generation counters: snapshot_generation() increments whenever a new
+/// index bundle is published (RebuildIndexes and every completed
+/// compaction), and overlay_version() on every staged mutation; the
+/// overlay rebuilt from the replay journal continues the version
+/// sequence, so (generation, version) pairs uniquely name every
+/// published logical state. Both are frozen into each published view and
+/// stamped into every AccessDecision, so callers (and the
+/// reader/mutator stress tests) can tell exactly which published state
+/// a decision saw. The engine-level accessors read writer-side state —
+/// call them from the (quiesced — WaitForCompaction) writer, or read
+/// the stamps off a view.
 ///
 /// Policy binding happens at publication, keyed by stable RuleId: every
 /// rule path is bound, its hop automaton compiled, and its automatic
@@ -80,15 +118,21 @@
 /// the request path performs no PathExpression::ToString(), Bind, or
 /// evaluator construction — only array lookups. Rules added to the
 /// store after the last publish are invisible to served decisions until
-/// the next write-path call republishes (any mutation does, or call
-/// RefreshPolicies() explicitly).
+/// the next *external* write-path call republishes (any mutation does,
+/// or call RefreshPolicies() explicitly; a background-compaction
+/// completion deliberately reuses the frozen policy snapshot — with
+/// refreshed automatic picks — rather than racing the store).
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -101,18 +145,22 @@ namespace sargus {
 class AccessControlEngine {
  public:
   /// `graph` and `store` must outlive the engine. The engine never
-  /// mutates either; AddEdge/RemoveEdge/Compact are unavailable (they
-  /// return kFailedPrecondition) because compaction must write the graph.
+  /// mutates either; AddEdge/RemoveEdge/AddNode/Compact are unavailable
+  /// (they return kFailedPrecondition) because compaction must write the
+  /// graph.
   AccessControlEngine(const SocialGraph& graph, const PolicyStore& store,
                       EngineOptions options = {});
 
-  /// Mutable-graph constructor: enables AddEdge/RemoveEdge/Compact. The
-  /// engine only writes `graph` inside Compact() (applying the staged
-  /// mutations) — with one narrow exception: AddEdge with a label
+  /// Mutable-graph constructor: enables AddEdge/RemoveEdge/AddNode/
+  /// Compact. The engine only writes `graph` when a compaction folds the
+  /// staged overlay in — with one narrow exception: AddEdge with a label
   /// *name* not yet interned interns it after full validation
   /// (snapshot-safe: label ids only grow, so no index observes it).
   AccessControlEngine(SocialGraph& graph, const PolicyStore& store,
                       EngineOptions options = {});
+
+  /// Drains any in-flight compaction (its result is still published),
+  /// then stops the compaction thread.
   ~AccessControlEngine();
 
   AccessControlEngine(const AccessControlEngine&) = delete;
@@ -122,16 +170,17 @@ class AccessControlEngine {
 
   /// (Re)builds every snapshot index the configuration needs and
   /// publishes a fresh view. Call after construction (and after mutating
-  /// the graph *outside* the engine). Discards any staged overlay
-  /// mutations — the overlay is defined relative to the snapshot being
-  /// replaced; use Compact() to fold pending mutations in instead of
-  /// dropping them. On failure the previously published view (if any)
-  /// keeps serving.
+  /// the graph *outside* the engine). Waits out any in-flight
+  /// compaction, then discards any staged overlay mutations — the
+  /// overlay is defined relative to the snapshot being replaced; use
+  /// Compact() to fold pending mutations in instead of dropping them.
+  /// On failure the previously published view (if any) keeps serving.
   Status RebuildIndexes();
 
   /// Stages edge src -[label]-> dst as added and publishes a view that
-  /// sees it. O(overlay size) — flat in |V| — unless it trips
-  /// auto-compaction. Idempotent when the logical edge already exists.
+  /// sees it. O(overlay size) — flat in |V| — and, under background
+  /// compaction, never blocks on a rebuild even when it trips the
+  /// threshold. Idempotent when the logical edge already exists.
   /// Interns an unknown label name. kInvalidArgument for out-of-range
   /// endpoints, kFailedPrecondition before RebuildIndexes or on a
   /// const-graph engine. (Mutable-graph constructor only.)
@@ -144,13 +193,36 @@ class AccessControlEngine {
   Status RemoveEdge(NodeId src, NodeId dst, const std::string& label);
   Status RemoveEdge(NodeId src, NodeId dst, LabelId label);
 
+  /// Stages a node addition and publishes a view on which the returned
+  /// id is immediately usable — no RebuildIndexes. The id is stable: a
+  /// later compaction folds the node into the SocialGraph under the
+  /// same id. Note RebuildIndexes() discards staged mutations including
+  /// staged nodes (use Compact() to persist them first).
+  Result<NodeId> AddNode();
+
   /// Folds every staged mutation into the SocialGraph, clears the
-  /// overlay, rebuilds the snapshot indexes, and publishes. No-op on an
-  /// empty overlay. Views acquired before and after see the same logical
-  /// graph; only the cost profile changes (index pruning and the join
-  /// index come back online). Old views stay valid: they answer against
-  /// their frozen snapshot + overlay for as long as they are held.
+  /// overlay, installs a fresh (or incrementally patched) index bundle,
+  /// and publishes. No-op on an empty overlay. With background
+  /// compaction (default) this returns as soon as the frozen inputs are
+  /// captured — the build, fold and publish happen on the compaction
+  /// thread (WaitForCompaction() for synchronous semantics); a second
+  /// Compact() while one is in flight makes its completion chain a
+  /// follow-up that folds everything staged meanwhile. Views acquired
+  /// before and
+  /// after see the same logical graph; only the cost profile changes
+  /// (index pruning and the join index come back online). Old views
+  /// stay valid: they answer against their frozen snapshot + overlay
+  /// for as long as they are held.
   Status Compact();
+
+  /// Blocks until no compaction is building or completing. After this
+  /// returns (with no interleaved writer calls), the last requested
+  /// compaction's effects — folded graph, fresh snapshot, replayed
+  /// overlay — are published.
+  void WaitForCompaction();
+
+  /// True while the compaction thread owns an in-flight build.
+  bool compaction_in_flight() const;
 
   /// Rebinds the policy snapshot if the PolicyStore changed since the
   /// last publish, and publishes a view that sees it. No-op when the
@@ -172,12 +244,6 @@ class AccessControlEngine {
   /// in the audit ring. Thread-safe; concurrent with one writer.
   Result<AccessDecision> CheckAccess(const AccessRequest& request) const;
 
-  /// Deprecated shim for the pre-view positional API; equivalent to
-  /// CheckAccess(AccessRequest{requester, resource}). Prefer the
-  /// AccessRequest overload (per-request witness/evaluator control).
-  Result<AccessDecision> CheckAccess(NodeId requester,
-                                     ResourceId resource) const;
-
   /// Batch decision against one view acquisition and one scratch
   /// context; results are positional (out[i] answers requests[i]). See
   /// AccessReadView::CheckAccessBatch.
@@ -194,15 +260,67 @@ class AccessControlEngine {
   /// master copy mutations stage into, not the frozen copy views carry.
   const DeltaOverlay& overlay() const { return overlay_; }
 
-  /// Bumped by every successful RebuildIndexes (incl. via Compact).
-  uint64_t snapshot_generation() const { return snapshot_generation_; }
+  /// Bumped on every published index bundle (RebuildIndexes and every
+  /// completed compaction). Safe to read from any thread.
+  uint64_t snapshot_generation() const {
+    return snapshot_generation_.load(std::memory_order_acquire);
+  }
   /// Forwarded DeltaOverlay::version() of the writer-side overlay.
   uint64_t overlay_version() const { return overlay_.version(); }
 
   bool indexes_built() const { return built_; }
   const EngineOptions& options() const { return options_; }
 
+  /// The threshold auto-compaction actually uses: the configured value,
+  /// or max(1024, |E|/16) re-derived from each snapshot under the
+  /// kCompactThresholdAuto default. 0 = auto-compaction off.
+  size_t effective_compact_threshold() const {
+    return effective_compact_threshold_;
+  }
+
+  /// Completed compactions that took the incremental index-patch path
+  /// vs. a full rebuild (writer-side; for tests and benchmarks).
+  uint64_t incremental_compactions() const { return incremental_compactions_; }
+  uint64_t full_compactions() const { return full_compactions_; }
+
+  /// Outcome of the most recently *finished* background compaction.
+  /// Compact() itself returns before the build runs, so a failed build
+  /// (the old snapshot keeps serving; staged mutations stay intact) is
+  /// only visible here — check it after WaitForCompaction() if you need
+  /// to know the fold really happened. Thread-safe.
+  Status last_compaction_status() const {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    return last_compaction_status_;
+  }
+
+  /// Test hook: runs on the compaction thread after the frozen inputs
+  /// are captured and before the build starts. Lets tests hold a
+  /// compaction open deterministically while the writer stages
+  /// straddling mutations. Set before triggering the compaction; not
+  /// synchronized against an in-flight one.
+  void SetCompactionBuildHookForTesting(std::function<void()> hook) {
+    comp_build_hook_ = std::move(hook);
+  }
+
  private:
+  /// One replayable writer operation staged while a compaction build is
+  /// in flight. Replaying the sequence against the folded graph
+  /// re-derives the overlay relative to the *new* snapshot.
+  struct JournalOp {
+    enum class Kind : uint8_t { kAddEdge, kRemoveEdge, kAddNode };
+    Kind kind = Kind::kAddEdge;
+    NodeId src = 0;
+    NodeId dst = 0;
+    LabelId label = kInvalidLabel;
+  };
+
+  /// Frozen inputs one background compaction builds against.
+  struct CompactionJob {
+    std::shared_ptr<const SnapshotIndexes> prev_idx;
+    DeltaOverlay frozen;
+    EdgeId first_new_edge = 0;
+  };
+
   /// Builds a view from the current bundles + overlay and publishes it
   /// (release store; readers acquire).
   void PublishView();
@@ -214,33 +332,99 @@ class AccessControlEngine {
   /// Ring push; caller holds audit_mu_ and checked audit_capacity > 0.
   void PushAuditLocked(const AccessDecision& decision) const;
 
-  /// Shared AddEdge/RemoveEdge staging logic after label resolution.
+  /// Shared AddEdge/RemoveEdge staging logic after label resolution;
+  /// journals the op when a compaction build is in flight.
   Status StageAddEdge(NodeId src, NodeId dst, LabelId label);
   Status StageRemoveEdge(NodeId src, NodeId dst, LabelId label);
-  /// Post-staging tail: auto-compact at threshold, else publish.
+  /// Post-staging tail: kick/perform compaction at threshold, publish.
   Status FinishMutation();
   /// Mutation-entry guard: mutable graph + built indexes.
   Status CheckMutable() const;
-  /// Staged endpoints must lie inside the current snapshot.
+  /// Staged endpoints must lie inside the logical node range (snapshot
+  /// + staged node additions).
   Status CheckEndpoints(NodeId src, NodeId dst) const;
+  size_t LogicalNumNodesLocked() const;
+
+  /// Builds the next bundle for `job`: the incremental patch when
+  /// applicable, the full merged rebuild otherwise. Lock-free — this is
+  /// the expensive part both compaction modes share. Sets
+  /// `*incremental` to which path ran.
+  Result<std::shared_ptr<const SnapshotIndexes>> BuildNextBundle(
+      const CompactionJob& job, bool* incremental) const;
+  /// Applies `frozen` to the mutable graph: staged nodes first, then
+  /// removals, then additions in the frozen copy's iteration order (the
+  /// order BuildMerged predicted edge ids in).
+  void FoldOverlayIntoGraph(const DeltaOverlay& frozen);
+  /// Synchronous compaction (background_compaction off, and the
+  /// threshold path in that mode). Caller holds mutation_mu_.
+  Status CompactBlockingLocked();
+  /// Captures the frozen inputs, starts/wakes the compaction thread.
+  /// Caller holds mutation_mu_.
+  void StartBackgroundCompactionLocked();
+  /// Completion: fold, swap bundles, replay the journal, publish.
+  /// Runs on the compaction thread under mutation_mu_. Returns a
+  /// follow-up job when the replayed overlay must compact again (an
+  /// explicit Compact() arrived mid-build, or the leftovers already
+  /// exceed the threshold) — the worker chains straight into it, and
+  /// WaitForCompaction() drains the whole chain.
+  std::optional<CompactionJob> FinishCompactionLocked(
+      CompactionJob& job, std::shared_ptr<const SnapshotIndexes> bundle,
+      bool incremental);
+  /// Re-derives effective_compact_threshold_ from the current snapshot.
+  void RecomputeEffectiveThreshold();
+  /// RebuildIndexes body; caller holds mutation_mu_.
+  Status RebuildIndexesLocked();
+  /// Dedicated compaction-thread main loop.
+  void CompactionWorker();
 
   const SocialGraph* graph_;
   /// Non-null only for the mutable-graph constructor; written solely by
-  /// Compact().
+  /// compaction folds.
   SocialGraph* mutable_graph_ = nullptr;
   const PolicyStore* store_;
   EngineOptions options_;
 
   bool built_ = false;
-  uint64_t snapshot_generation_ = 0;
+  std::atomic<uint64_t> snapshot_generation_{0};
+  size_t effective_compact_threshold_ = 0;
+  uint64_t incremental_compactions_ = 0;
+  uint64_t full_compactions_ = 0;
+
   /// Writer-side pending mutations relative to the current snapshot.
   /// Each publish freezes a copy into the view; readers never touch
   /// this object.
   DeltaOverlay overlay_;
+  /// Ops staged while a compaction build is in flight (building_), in
+  /// order; replayed at completion. Guarded by mutation_mu_.
+  std::vector<JournalOp> journal_;
+  bool building_ = false;  // guarded by mutation_mu_
+  /// Explicit Compact() arrived while a build was in flight: fold the
+  /// journal leftovers in a chained compaction at completion.
+  bool recompact_requested_ = false;  // guarded by mutation_mu_
 
   /// Immutable bundles shared by published views (see read_view.h).
   std::shared_ptr<const SnapshotIndexes> idx_;
   std::shared_ptr<const PolicySnapshot> policy_;
+
+  /// Serializes writer-side state between the external writer and the
+  /// compaction thread's completion swap. External write-path calls
+  /// hold it for their whole (cheap) body; the compaction thread holds
+  /// it only for freeze-capture and the completion swap — never during
+  /// the build itself. Lock order: mutation_mu_ before comp_mu_.
+  mutable std::mutex mutation_mu_;
+
+  /// Compaction-thread machinery. comp_state_/comp_shutdown_/comp_job_
+  /// are guarded by comp_mu_; the worker is started lazily on the first
+  /// background compaction.
+  enum class CompState { kIdle, kQueued, kBuilding };
+  mutable std::mutex comp_mu_;
+  mutable std::condition_variable comp_cv_;
+  CompState comp_state_ = CompState::kIdle;
+  bool comp_shutdown_ = false;
+  CompactionJob comp_job_;
+  std::thread comp_thread_;
+  std::function<void()> comp_build_hook_;
+  Status last_compaction_status_ = OkStatus();  // guarded by mutation_mu_
 
   /// View publication. std::atomic<std::shared_ptr> would be the
   /// textbook spelling, but libstdc++'s implementation guards the raw

@@ -54,34 +54,102 @@ EvaluatorKind AutoPick(const BoundPathExpression& expr,
 
 }  // namespace
 
+namespace {
+
+/// The join-index stack (line graph, oracle, cluster index, tables) is
+/// by far the heaviest build; skip it entirely for online-only
+/// configurations, which only need the CSR.
+bool NeedJoinStack(const EngineOptions& options) {
+  return options.evaluator == EvaluatorChoice::kAuto ||
+         options.evaluator == EvaluatorChoice::kJoinIndex;
+}
+
+/// Finishes a bundle whose csr (and, when `lg_built`, line graph +
+/// oracle) are already in place: the cluster index, base tables and
+/// closure are always derived fresh — they are linear-ish in the line
+/// graph, unlike the SCC/sweep work the incremental path avoids.
+Status FinishBundle(SnapshotIndexes& idx, bool lg_built,
+                    const EngineOptions& options) {
+  if (NeedJoinStack(options)) {
+    if (!lg_built) {
+      idx.lg = LineGraph::Build(
+          idx.csr, {.include_backward = options.line_graph_backward});
+      auto oracle = LineReachabilityOracle::Build(idx.lg);
+      if (!oracle.ok()) return oracle.status();
+      idx.oracle = std::make_unique<LineReachabilityOracle>(std::move(*oracle));
+    }
+    auto cluster = ClusterJoinIndex::Build(idx.lg, *idx.oracle);
+    if (!cluster.ok()) return cluster.status();
+    idx.cluster = std::make_unique<ClusterJoinIndex>(std::move(*cluster));
+    idx.tables = BaseTables::Build(idx.lg);
+    idx.join_built = true;
+  }
+  if (options.use_closure_prefilter) {
+    // Undirected: sound for backward steps too (see closure_prefilter.h).
+    idx.closure = std::make_unique<TransitiveClosure>(
+        TransitiveClosure::Build(idx.csr, /*as_undirected=*/true));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const SnapshotIndexes>> SnapshotIndexes::Build(
     const SocialGraph& graph, const EngineOptions& options) {
   auto idx = std::make_shared<SnapshotIndexes>();
   idx->csr = CsrSnapshot::Build(graph);
+  SARGUS_RETURN_IF_ERROR(FinishBundle(*idx, /*lg_built=*/false, options));
+  return std::shared_ptr<const SnapshotIndexes>(std::move(idx));
+}
 
-  // The join-index stack (line graph, oracle, cluster index, tables) is
-  // by far the heaviest build; skip it entirely for online-only
-  // configurations, which only need the CSR.
-  const bool need_join_stack =
-      options.evaluator == EvaluatorChoice::kAuto ||
-      options.evaluator == EvaluatorChoice::kJoinIndex;
-  if (need_join_stack) {
-    idx->lg = LineGraph::Build(
-        idx->csr, {.include_backward = options.line_graph_backward});
-    auto oracle = LineReachabilityOracle::Build(idx->lg);
-    if (!oracle.ok()) return oracle.status();
+Result<std::shared_ptr<const SnapshotIndexes>> SnapshotIndexes::BuildMerged(
+    const SocialGraph& graph, const DeltaOverlay& overlay,
+    EdgeId first_new_edge, const EngineOptions& options) {
+  auto idx = std::make_shared<SnapshotIndexes>();
+  idx->csr = CsrSnapshot::Build(graph, overlay, first_new_edge);
+  SARGUS_RETURN_IF_ERROR(FinishBundle(*idx, /*lg_built=*/false, options));
+  return std::shared_ptr<const SnapshotIndexes>(std::move(idx));
+}
+
+Result<std::shared_ptr<const SnapshotIndexes>>
+SnapshotIndexes::BuildIncremental(const SnapshotIndexes& prev,
+                                  const SocialGraph& graph,
+                                  const DeltaOverlay& overlay,
+                                  EdgeId first_new_edge,
+                                  const EngineOptions& options) {
+  // Gate: insertion-only (deleted reachability cannot be patched out of
+  // the labels) and small relative to the snapshot — past the fraction
+  // the resumed sweeps stop beating the batch build.
+  if (options.incremental_max_fraction <= 0.0 || overlay.has_deletions()) {
+    return std::shared_ptr<const SnapshotIndexes>(nullptr);
+  }
+  const double cap =
+      options.incremental_max_fraction * static_cast<double>(
+                                             prev.csr.NumEdges());
+  if (static_cast<double>(overlay.NumAdded()) > cap) {
+    return std::shared_ptr<const SnapshotIndexes>(nullptr);
+  }
+
+  auto idx = std::make_shared<SnapshotIndexes>();
+  idx->csr = CsrSnapshot::Build(graph, overlay, first_new_edge);
+  bool lg_built = false;
+  if (NeedJoinStack(options)) {
+    if (!prev.join_built || prev.oracle == nullptr) {
+      return std::shared_ptr<const SnapshotIndexes>(nullptr);
+    }
+    idx->lg = LineGraph::BuildIncremental(prev.lg, idx->csr, first_new_edge);
+    auto oracle = LineReachabilityOracle::BuildIncremental(
+        *prev.oracle, idx->lg,
+        static_cast<LineVertexId>(prev.lg.NumVertices()), {});
+    if (!oracle.has_value()) {
+      // An insertion closed a line-graph cycle: components must merge,
+      // which only the full Tarjan pass can do.
+      return std::shared_ptr<const SnapshotIndexes>(nullptr);
+    }
     idx->oracle = std::make_unique<LineReachabilityOracle>(std::move(*oracle));
-    auto cluster = ClusterJoinIndex::Build(idx->lg, *idx->oracle);
-    if (!cluster.ok()) return cluster.status();
-    idx->cluster = std::make_unique<ClusterJoinIndex>(std::move(*cluster));
-    idx->tables = BaseTables::Build(idx->lg);
-    idx->join_built = true;
+    lg_built = true;
   }
-  if (options.use_closure_prefilter) {
-    // Undirected: sound for backward steps too (see closure_prefilter.h).
-    idx->closure = std::make_unique<TransitiveClosure>(
-        TransitiveClosure::Build(idx->csr, /*as_undirected=*/true));
-  }
+  SARGUS_RETURN_IF_ERROR(FinishBundle(*idx, lg_built, options));
   return std::shared_ptr<const SnapshotIndexes>(std::move(idx));
 }
 
@@ -117,6 +185,24 @@ std::shared_ptr<const PolicySnapshot> PolicySnapshot::Build(
   return policy;
 }
 
+std::shared_ptr<const PolicySnapshot> PolicySnapshot::WithAutoPicks(
+    const PolicySnapshot& prev, const SnapshotIndexes& idx,
+    const EngineOptions& options) {
+  auto policy = std::make_shared<PolicySnapshot>();
+  policy->source_num_resources = prev.source_num_resources;
+  policy->source_num_rules = prev.source_num_rules;
+  policy->resources = prev.resources;
+  policy->rules = prev.rules;  // shares the bound expressions
+  for (CompiledRule& rule : policy->rules) {
+    for (CompiledPath& path : rule.paths) {
+      if (path.bound != nullptr) {
+        path.auto_pick = AutoPick(*path.bound, idx, options);
+      }
+    }
+  }
+  return policy;
+}
+
 AccessReadView::AccessReadView(const SocialGraph& graph,
                                std::shared_ptr<const SnapshotIndexes> idx,
                                std::shared_ptr<const PolicySnapshot> policy,
@@ -129,6 +215,7 @@ AccessReadView::AccessReadView(const SocialGraph& graph,
       policy_(std::move(policy)),
       overlay_(overlay),
       overlay_empty_(overlay.empty()),
+      logical_num_nodes_(LogicalNumNodes(idx_->csr, &overlay_)),
       snapshot_generation_(snapshot_generation) {
   // Per-view evaluator instances are pointer bundles over the shared
   // immutable structures plus this view's frozen overlay; building them
@@ -155,7 +242,7 @@ AccessReadView::AccessReadView(const SocialGraph& graph,
       // Overlay-aware wrapper: the prefilter self-suspends its fast-deny
       // while pending insertions make closure pruning unsound.
       prefiltered_[i] = std::make_unique<ClosurePrefilterEvaluator>(
-          *idx_->closure, *base_[i], &overlay_);
+          *idx_->closure, *base_[i], &overlay_, graph_);
     }
   }
 }
@@ -175,8 +262,9 @@ Result<AccessDecision> AccessReadView::CheckAccess(
     return Status::NotFound("CheckAccess: unknown resource id " +
                             std::to_string(request.resource));
   }
-  if (request.requester >= idx_->csr.NumNodes()) {
-    return Status::InvalidArgument("CheckAccess: requester out of range");
+  if (request.requester >= logical_num_nodes_) {
+    return Status::InvalidArgument(
+        "CheckAccess: requester outside this view's snapshot");
   }
   return CheckResolved(policy_->resources[request.resource], request, ctx);
 }
@@ -189,6 +277,14 @@ Result<AccessDecision> AccessReadView::CheckAccess(
 Result<AccessDecision> AccessReadView::CheckResolved(
     const PolicySnapshot::ResourceEntry& res, const AccessRequest& request,
     EvalContext& ctx) const {
+  // The policy store accepts any owner id, and a resource owned by a
+  // node added after this view was published is not decidable against
+  // its frozen snapshot: every rule walk would seed at the owner, past
+  // the scratch arrays sized at snapshot time. Fail loudly instead.
+  if (res.owner >= logical_num_nodes_) {
+    return Status::InvalidArgument(
+        "CheckAccess: resource owner outside this view's snapshot");
+  }
   AccessDecision decision;
   decision.requester = request.requester;
   decision.resource = request.resource;
@@ -355,10 +451,11 @@ std::vector<Result<AccessDecision>> AccessReadView::CheckAccessBatch(
     for (size_t k = i; k < end; ++k) {
       const uint32_t slot = order[k];
       const AccessRequest& request = requests[slot];
-      if (request.requester >= idx_->csr.NumNodes()) {
-        slots[slot].emplace(
-            Status::InvalidArgument("CheckAccess: requester out of range"));
-      } else if (res.owner == request.requester || request.want_witness ||
+      if (request.requester >= logical_num_nodes_) {
+        slots[slot].emplace(Status::InvalidArgument(
+            "CheckAccess: requester outside this view's snapshot"));
+      } else if (res.owner >= logical_num_nodes_ ||
+                 res.owner == request.requester || request.want_witness ||
                  request.evaluator_override.has_value()) {
         slots[slot].emplace(CheckResolved(res, request, ctx));
       } else {

@@ -37,6 +37,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -89,11 +90,34 @@ struct EngineOptions {
   /// Decisions kept in the engine's audit ring (0 disables auditing —
   /// and with it the only lock on the engine's CheckAccess facade).
   size_t audit_capacity = 1024;
-  /// Staged overlay mutations (adds + removes) tolerated before
-  /// AddEdge/RemoveEdge triggers an automatic Compact(). 0 disables
-  /// auto-compaction (the overlay then grows until an explicit
+  /// Staged overlay mutations (adds + removes + node additions)
+  /// tolerated before a mutation triggers an automatic Compact(). The
+  /// default, kCompactThresholdAuto, scales with the snapshot:
+  /// max(1024, |E|/16), recomputed at every rebuild — a fixed constant
+  /// either starves small graphs (overlay never folds, conservatism
+  /// never lifts) or compacts pathologically often on large ones, where
+  /// each fold is expensive. Any explicit value is used as-is; 0
+  /// disables auto-compaction (the overlay then grows until an explicit
   /// Compact()).
-  size_t compact_threshold = 4096;
+  size_t compact_threshold = kCompactThresholdAuto;
+  /// Run Compact() (explicit and threshold-triggered) on the engine's
+  /// dedicated compaction thread: the next index bundle is built
+  /// against a frozen graph+overlay while the writer keeps staging
+  /// mutations, which are replayed onto the new snapshot when it
+  /// publishes. Off = the pre-double-buffering behavior: Compact()
+  /// blocks the writer for the whole rebuild (kept for benchmarks and
+  /// for callers that want strict synchronous semantics without
+  /// WaitForCompaction()).
+  bool background_compaction = true;
+  /// Compactions whose staged delta is insertion-only and no larger
+  /// than this fraction of the snapshot's edges patch the line graph /
+  /// oracle incrementally instead of rebuilding them (see
+  /// SnapshotIndexes::BuildIncremental). 0 disables incremental
+  /// maintenance.
+  double incremental_max_fraction = 0.05;
+
+  static constexpr size_t kCompactThresholdAuto =
+      std::numeric_limits<size_t>::max();
 };
 
 /// One access-control question, fully self-describing. Replaces the old
@@ -161,6 +185,30 @@ struct SnapshotIndexes {
   /// kAuto/kJoinIndex, the closure only when the prefilter is on).
   static Result<std::shared_ptr<const SnapshotIndexes>> Build(
       const SocialGraph& graph, const EngineOptions& options);
+
+  /// Same bundle over the *logical* graph `graph` ⊕ `overlay`, without
+  /// mutating `graph` — what a background compaction builds against its
+  /// frozen inputs. `first_new_edge` is the id the fold will assign the
+  /// overlay's first staged addition (the graph's EdgeSlotCount() at
+  /// freeze time), so the bundle is identical to Build() after the fold.
+  static Result<std::shared_ptr<const SnapshotIndexes>> BuildMerged(
+      const SocialGraph& graph, const DeltaOverlay& overlay,
+      EdgeId first_new_edge, const EngineOptions& options);
+
+  /// Incremental variant of BuildMerged: patches `prev`'s line graph and
+  /// reachability oracle instead of rebuilding them (the CSR, closure,
+  /// cluster and base tables are re-derived — all linear). Only
+  /// applicable when the delta is insertion-only (removals shrink
+  /// reachability, which labels cannot un-learn), no larger than
+  /// options.incremental_max_fraction of the snapshot's edges, and the
+  /// insertions close no cycle in the line graph; returns null (not an
+  /// error) when any of these fail and the caller should fall back to
+  /// the full BuildMerged. Produces the same answers as the full build
+  /// (the equivalence test suite pins this on randomized overlays).
+  static Result<std::shared_ptr<const SnapshotIndexes>> BuildIncremental(
+      const SnapshotIndexes& prev, const SocialGraph& graph,
+      const DeltaOverlay& overlay, EdgeId first_new_edge,
+      const EngineOptions& options);
 };
 
 /// The immutable policy bundle: the resource table plus every rule
@@ -199,6 +247,16 @@ struct PolicySnapshot {
   static std::shared_ptr<const PolicySnapshot> Build(
       const PolicyStore& store, const SocialGraph& graph,
       const SnapshotIndexes& idx, const EngineOptions& options);
+
+  /// Clone of `prev` with every path's automatic evaluator pick
+  /// recomputed against a new index bundle — what a background
+  /// compaction publishes. Deliberately does NOT touch the PolicyStore
+  /// (the compaction thread must not race rule registration on the
+  /// user's thread), so binds that failed in `prev` stay failed until
+  /// the next store-refreshing publish (any external write-path call).
+  static std::shared_ptr<const PolicySnapshot> WithAutoPicks(
+      const PolicySnapshot& prev, const SnapshotIndexes& idx,
+      const EngineOptions& options);
 };
 
 /// An immutable, reference-counted serving snapshot. See the file
@@ -258,6 +316,13 @@ class AccessReadView {
   const CsrSnapshot& csr() const { return idx_->csr; }
   size_t num_resources() const { return policy_->resources.size(); }
 
+  /// Node ids this view can answer for: snapshot nodes plus the frozen
+  /// overlay's staged node additions. A request (or resource owner)
+  /// at or past this bound — e.g. a node added after this view was
+  /// published — fails with kInvalidArgument instead of indexing past
+  /// scratch arrays sized at snapshot time.
+  size_t logical_num_nodes() const { return logical_num_nodes_; }
+
  private:
   AccessReadView(const SocialGraph& graph,
                  std::shared_ptr<const SnapshotIndexes> idx,
@@ -298,6 +363,7 @@ class AccessReadView {
   /// Frozen at Create(); evaluators below hold its address.
   DeltaOverlay overlay_;
   bool overlay_empty_ = true;
+  size_t logical_num_nodes_ = 0;
   uint64_t snapshot_generation_ = 0;
 
   std::array<std::unique_ptr<Evaluator>, kNumEvaluatorKinds> base_;

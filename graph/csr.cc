@@ -2,52 +2,94 @@
 
 #include <algorithm>
 
+#include "graph/delta_overlay.h"
+
 namespace sargus {
 
-CsrSnapshot CsrSnapshot::Build(const SocialGraph& g) {
+CsrSnapshot CsrSnapshot::FromEdgeList(size_t num_nodes,
+                                      const std::vector<Edge>& logical,
+                                      const std::vector<EdgeId>& ids) {
   CsrSnapshot snap;
-  const size_t n = g.NumNodes();
-  snap.num_nodes_ = n;
-  snap.out_offsets_.assign(n + 1, 0);
-  snap.in_offsets_.assign(n + 1, 0);
+  snap.num_nodes_ = num_nodes;
+  snap.out_offsets_.assign(num_nodes + 1, 0);
+  snap.in_offsets_.assign(num_nodes + 1, 0);
 
   // Counting pass.
-  for (EdgeId e = 0; e < g.EdgeSlotCount(); ++e) {
-    if (!g.IsLiveEdge(e)) continue;
-    const Edge& rec = g.edge(e);
+  for (const Edge& rec : logical) {
     ++snap.out_offsets_[rec.src + 1];
     ++snap.in_offsets_[rec.dst + 1];
   }
-  for (size_t v = 0; v < n; ++v) {
+  for (size_t v = 0; v < num_nodes; ++v) {
     snap.out_offsets_[v + 1] += snap.out_offsets_[v];
     snap.in_offsets_[v + 1] += snap.in_offsets_[v];
   }
 
   // Fill pass (cursor copies of the offsets).
-  snap.out_entries_.resize(g.NumEdges());
-  snap.in_entries_.resize(g.NumEdges());
+  snap.out_entries_.resize(logical.size());
+  snap.in_entries_.resize(logical.size());
   std::vector<uint32_t> out_cursor(snap.out_offsets_.begin(),
                                    snap.out_offsets_.end() - 1);
   std::vector<uint32_t> in_cursor(snap.in_offsets_.begin(),
                                   snap.in_offsets_.end() - 1);
-  for (EdgeId e = 0; e < g.EdgeSlotCount(); ++e) {
-    if (!g.IsLiveEdge(e)) continue;
-    const Edge& rec = g.edge(e);
-    snap.out_entries_[out_cursor[rec.src]++] = {rec.dst, rec.label, e};
-    snap.in_entries_[in_cursor[rec.dst]++] = {rec.src, rec.label, e};
+  for (size_t i = 0; i < logical.size(); ++i) {
+    const Edge& rec = logical[i];
+    snap.out_entries_[out_cursor[rec.src]++] = {rec.dst, rec.label, ids[i]};
+    snap.in_entries_[in_cursor[rec.dst]++] = {rec.src, rec.label, ids[i]};
   }
 
   // Sort each node's range by label (then endpoint for determinism).
   auto by_label = [](const Entry& a, const Entry& b) {
     return a.label != b.label ? a.label < b.label : a.other < b.other;
   };
-  for (size_t v = 0; v < n; ++v) {
+  for (size_t v = 0; v < num_nodes; ++v) {
     std::sort(snap.out_entries_.begin() + snap.out_offsets_[v],
               snap.out_entries_.begin() + snap.out_offsets_[v + 1], by_label);
     std::sort(snap.in_entries_.begin() + snap.in_offsets_[v],
               snap.in_entries_.begin() + snap.in_offsets_[v + 1], by_label);
   }
   return snap;
+}
+
+CsrSnapshot CsrSnapshot::Build(const SocialGraph& g) {
+  std::vector<Edge> logical;
+  std::vector<EdgeId> ids;
+  logical.reserve(g.NumEdges());
+  ids.reserve(g.NumEdges());
+  for (EdgeId e = 0; e < g.EdgeSlotCount(); ++e) {
+    if (!g.IsLiveEdge(e)) continue;
+    logical.push_back(g.edge(e));
+    ids.push_back(e);
+  }
+  return FromEdgeList(g.NumNodes(), logical, ids);
+}
+
+CsrSnapshot CsrSnapshot::Build(const SocialGraph& g,
+                               const DeltaOverlay& overlay,
+                               EdgeId first_new_edge) {
+  // Materialize the logical edge list: surviving base edges keep their
+  // slot ids; staged additions get the ids the fold will assign, in the
+  // overlay's (stable for one frozen copy) iteration order.
+  std::vector<Edge> logical;
+  std::vector<EdgeId> ids;
+  logical.reserve(g.NumEdges() + overlay.NumAdded());
+  ids.reserve(g.NumEdges() + overlay.NumAdded());
+  const bool check_removed = overlay.has_deletions();
+  for (EdgeId e = 0; e < g.EdgeSlotCount(); ++e) {
+    if (!g.IsLiveEdge(e)) continue;
+    const Edge& rec = g.edge(e);
+    if (check_removed && overlay.IsRemoved(rec.src, rec.dst, rec.label)) {
+      continue;
+    }
+    logical.push_back(rec);
+    ids.push_back(e);
+  }
+  EdgeId next = first_new_edge;
+  overlay.ForEachAdded([&](const DeltaOverlay::EdgeTriple& t) {
+    logical.push_back(Edge{t.src, t.dst, t.label});
+    ids.push_back(next++);
+  });
+  return FromEdgeList(g.NumNodes() + overlay.num_staged_nodes(), logical,
+                      ids);
 }
 
 std::span<const CsrSnapshot::Entry> CsrSnapshot::LabelRange(

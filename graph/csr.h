@@ -19,6 +19,8 @@
 
 namespace sargus {
 
+class DeltaOverlay;
+
 class CsrSnapshot {
  public:
   /// One adjacency entry: the far endpoint plus the edge's label and slot.
@@ -32,6 +34,18 @@ class CsrSnapshot {
 
   /// Snapshots the live edges of `g`.
   static CsrSnapshot Build(const SocialGraph& g);
+
+  /// Snapshots the *logical* graph g ⊕ overlay without mutating g: base
+  /// live edges minus staged removals, plus staged additions and staged
+  /// nodes. Staged additions get the edge ids the fold will assign —
+  /// `first_new_edge + i` for the i-th triple of the overlay's added-set
+  /// iteration order — so the result is bit-identical to Build(g) after
+  /// the same overlay is folded into g (removals first, additions in
+  /// that same iteration order). This is what lets a background
+  /// compaction build indexes against a frozen overlay while the graph
+  /// object stays untouched.
+  static CsrSnapshot Build(const SocialGraph& g, const DeltaOverlay& overlay,
+                           EdgeId first_new_edge);
 
   size_t NumNodes() const { return num_nodes_; }
   size_t NumEdges() const { return out_entries_.size(); }
@@ -67,6 +81,14 @@ class CsrSnapshot {
  private:
   static std::span<const Entry> LabelRange(std::span<const Entry> all,
                                            LabelId label);
+
+  /// Shared core of both Build overloads: counting-sort the materialized
+  /// logical edge list (record i gets slot id ids[i]) into label-sorted
+  /// per-node ranges. Keeping one copy is what guarantees the merged
+  /// build stays bit-identical to a post-fold rebuild.
+  static CsrSnapshot FromEdgeList(size_t num_nodes,
+                                  const std::vector<Edge>& logical,
+                                  const std::vector<EdgeId>& ids);
 
   size_t num_nodes_ = 0;
   std::vector<uint32_t> out_offsets_{0};

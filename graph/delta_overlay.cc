@@ -38,6 +38,7 @@ void DeltaOverlay::Clear() {
   removed_.clear();
   added_out_.clear();
   added_in_.clear();
+  staged_nodes_ = 0;
 }
 
 void DeltaOverlay::AdjErase(AdjMap& map, NodeId node, LabelId label,

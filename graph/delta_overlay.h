@@ -19,9 +19,18 @@
 /// duplicate a live base edge, and a staged remove must name a live base
 /// edge. AccessControlEngine enforces both; direct users must do the
 /// same, or neighbor iteration may yield duplicates (harmless for
-/// reachability, wasteful) or no-op removals. Endpoints of staged edges
-/// must be < the snapshot's NumNodes(): walker visited arrays are sized
-/// to the snapshot, not the live graph.
+/// reachability, wasteful) or no-op removals.
+///
+/// Node growth is staged too: StageNode() extends the *logical* node id
+/// range past the snapshot without touching the SocialGraph — staged
+/// node k gets id snapshot_nodes + k, the id the graph will assign when
+/// compaction folds the nodes in, so ids are stable across the fold.
+/// Endpoints of staged edges must be < snapshot NumNodes() +
+/// num_staged_nodes(): walkers size their visited arrays to that
+/// logical count (LogicalNumNodes below), and ForEachNeighborEdge
+/// serves nodes at or past the snapshot from the overlay adjacency
+/// alone (they have no base entries). Staged nodes have no attributes
+/// until compaction, so attribute-filtered steps treat them as unset.
 ///
 /// Thread-safety and snapshot-consistency contract: the overlay is NOT
 /// internally synchronized. Readers (evaluators mid-query) and writers
@@ -73,6 +82,15 @@ class DeltaOverlay {
   /// Returns false when it was not staged.
   bool UnstageRemove(NodeId src, NodeId dst, LabelId label);
 
+  /// Stages one node addition past the snapshot's id range; returns the
+  /// zero-based index of the staged node (its logical id is the
+  /// snapshot's NumNodes() + that index). Unlike edges, node additions
+  /// never cancel: ids already handed out must stay valid.
+  uint32_t StageNode() {
+    ++version_;
+    return staged_nodes_++;
+  }
+
   bool IsStagedAdd(NodeId src, NodeId dst, LabelId label) const {
     return added_.contains(EdgeTriple{src, dst, label});
   }
@@ -107,9 +125,15 @@ class DeltaOverlay {
 
   size_t NumAdded() const { return added_.size(); }
   size_t NumRemoved() const { return removed_.size(); }
+  /// Staged node additions past the snapshot (see StageNode).
+  size_t num_staged_nodes() const { return staged_nodes_; }
   /// Total staged mutations — the compaction-threshold metric.
-  size_t size() const { return added_.size() + removed_.size(); }
-  bool empty() const { return added_.empty() && removed_.empty(); }
+  size_t size() const {
+    return added_.size() + removed_.size() + staged_nodes_;
+  }
+  bool empty() const {
+    return added_.empty() && removed_.empty() && staged_nodes_ == 0;
+  }
 
   /// Any pending additions? While true, "index says unreachable" proofs
   /// over the base snapshot are invalid (an added edge may connect).
@@ -162,8 +186,20 @@ class DeltaOverlay {
   TripleSet removed_;
   AdjMap added_out_;
   AdjMap added_in_;
+  uint32_t staged_nodes_ = 0;
   uint64_t version_ = 0;
+
+  friend class AccessControlEngine;  // version continuity across compaction
 };
+
+/// Node ids a traversal over (csr, overlay) may legally touch: the
+/// snapshot's range plus any staged node additions. This is the size
+/// every walker's visited/parent arrays must cover.
+inline size_t LogicalNumNodes(const CsrSnapshot& csr,
+                              const DeltaOverlay* overlay) {
+  return csr.NumNodes() +
+         (overlay == nullptr ? 0 : overlay->num_staged_nodes());
+}
 
 /// Merged neighbor iteration: the one place base entries and overlay
 /// deltas combine, shared by every traversal (ProductWalker steps,
@@ -179,6 +215,17 @@ template <typename Fn>
 inline bool ForEachNeighborEdge(const CsrSnapshot& csr,
                                 const DeltaOverlay* overlay, NodeId node,
                                 LabelId label, bool backward, Fn&& fn) {
+  if (node >= csr.NumNodes()) {
+    // A staged node: no base entries, overlay adjacency only. (Callers
+    // validate node < LogicalNumNodes, so overlay is non-null here.)
+    if (overlay == nullptr) return false;
+    const auto added = backward ? overlay->AddedIn(node, label)
+                                : overlay->AddedOut(node, label);
+    for (NodeId w : added) {
+      if (fn(w)) return true;
+    }
+    return false;
+  }
   const auto entries =
       backward ? csr.InWithLabel(node, label) : csr.OutWithLabel(node, label);
   if (overlay == nullptr || overlay->empty()) {

@@ -28,10 +28,11 @@ const std::string& NameDictionary::ToString(uint16_t id) const {
   return names_[id];
 }
 
-NodeId SocialGraph::AddNode() {
+NodeId SocialGraph::AddNode() { return AddNodes(1); }
+
+NodeId SocialGraph::AddNodes(size_t count) {
   const NodeId id = static_cast<NodeId>(num_nodes_);
-  ++num_nodes_;
-  for (auto& col : attr_columns_) col.push_back(kUnsetAttr);
+  num_nodes_ += count;
   return id;
 }
 
@@ -48,8 +49,12 @@ Status SocialGraph::SetAttribute(NodeId node, const std::string& name,
     return Status::ResourceExhausted("SetAttribute: attribute dictionary full");
   }
   if (attr >= attr_columns_.size()) {
-    attr_columns_.resize(attr + 1,
-                         std::vector<int64_t>(num_nodes_, kUnsetAttr));
+    attr_columns_.resize(attr + 1);
+  }
+  // Columns trail the node counter when nodes were appended in bulk;
+  // grow on demand so the write below stays in bounds.
+  if (attr_columns_[attr].size() < num_nodes_) {
+    attr_columns_[attr].resize(num_nodes_, kUnsetAttr);
   }
   attr_columns_[attr][node] = value;
   return OkStatus();
@@ -57,8 +62,13 @@ Status SocialGraph::SetAttribute(NodeId node, const std::string& name,
 
 std::optional<int64_t> SocialGraph::GetAttribute(NodeId node,
                                                  AttrId attr) const {
-  if (node >= num_nodes_ || attr >= attr_columns_.size()) return std::nullopt;
-  const int64_t v = attr_columns_[attr][node];
+  // Bound by column size, not the node counter: columns never shrink,
+  // so this read stays safe (and "unset") for nodes appended — even
+  // concurrently by a compaction fold — after the column last grew.
+  if (attr >= attr_columns_.size()) return std::nullopt;
+  const std::vector<int64_t>& col = attr_columns_[attr];
+  if (node >= col.size()) return std::nullopt;
+  const int64_t v = col[node];
   if (v == kUnsetAttr) return std::nullopt;
   return v;
 }

@@ -66,6 +66,14 @@ class SocialGraph {
   // ---- Nodes ---------------------------------------------------------------
 
   NodeId AddNode();
+
+  /// Appends `count` nodes at once; returns the first new id. Touches
+  /// only the node counter — attribute columns grow lazily on the next
+  /// SetAttribute — which is what lets compaction fold staged node
+  /// additions in while read views (which never consult the counter and
+  /// bound attribute reads by column size) are in flight.
+  NodeId AddNodes(size_t count);
+
   size_t NumNodes() const { return num_nodes_; }
 
   /// Sets integer attribute `name` on `node` (interning the name).
@@ -139,7 +147,9 @@ class SocialGraph {
   size_t num_live_edges_ = 0;
   NameDictionary labels_;
   NameDictionary attrs_;
-  // Per-attribute dense columns; INT64_MIN marks "unset".
+  // Per-attribute dense columns; INT64_MIN marks "unset". Columns may
+  // trail num_nodes_ (nodes appended since the column last grew);
+  // GetAttribute treats the missing tail as unset.
   std::vector<std::vector<int64_t>> attr_columns_;
   std::unordered_map<EdgeKey, EdgeId, EdgeKeyHash> edge_lookup_;
 };

@@ -7,7 +7,8 @@ namespace sargus {
 
 Result<Evaluation> BidirectionalEvaluator::EvaluateWith(
     const ReachQuery& q, EvalContext& ctx) const {
-  SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
+  SARGUS_RETURN_IF_ERROR(
+      ValidateQuery(q, *graph_, LogicalNumNodes(*csr_, overlay_)));
   const HopAutomaton& nfa = q.expr->automaton();
   const uint32_t num_states = nfa.NumStates();
 
@@ -23,7 +24,8 @@ Result<Evaluation> BidirectionalEvaluator::EvaluateWith(
   ProductWalker forward(*graph_, *csr_, nfa, TraversalOrder::kBfs, scratch,
                         /*track_parents=*/false, overlay_);
   // Backward side: membership + FIFO frontier from the same pool.
-  scratch.visited_back.BeginEpoch(csr_->NumNodes() * size_t{num_states});
+  scratch.visited_back.BeginEpoch(LogicalNumNodes(*csr_, overlay_) *
+                                  size_t{num_states});
   scratch.frontier_back.clear();
   size_t head_back = 0;
   bool met = false;

@@ -12,13 +12,19 @@ Result<Evaluation> ClosurePrefilterEvaluator::EvaluateWith(
   // only applicable when the query is plausibly valid for the graph the
   // closure covers — anything else is delegated so the inner evaluator
   // can report the proper error instead of a silent deny.
+  // Note the endpoint bound is the closure's own snapshot size, never
+  // the live graph's node counter: endpoints past it (nodes staged or
+  // folded in after the closure was built) simply skip the prefilter,
+  // and reading the counter here would race a concurrent compaction
+  // fold growing it. The wrong-graph guard compares bound identity, not
+  // node counts, for the same reason.
   const bool sound =
       q.expr != nullptr &&
       PrefilterValidityUnder(overlay_).deny_pruning &&
       (closure_->is_undirected() || !q.expr->HasBackwardStep()) &&
       q.src < closure_->NumNodes() && q.dst < closure_->NumNodes() &&
       q.expr->graph() != nullptr &&
-      q.expr->graph()->NumNodes() == closure_->NumNodes();
+      (graph_ == nullptr || q.expr->graph() == graph_);
   if (sound && !closure_->Reachable(q.src, q.dst)) {
     Evaluation denied;
     denied.granted = false;

@@ -31,10 +31,17 @@ class ClosurePrefilterEvaluator : public Evaluator {
   /// is the pending-mutation set layered over that graph's snapshot —
   /// the prefilter consults it to decide when its pruning is still
   /// sound; the inner evaluator is responsible for actually applying it.
+  /// `graph` (optional) names the graph the closure was built over:
+  /// when set, a query whose expression is bound against a *different*
+  /// graph bypasses the prefilter so the inner evaluator can surface
+  /// the wrong-graph error instead of the prefilter masking it as an
+  /// authoritative deny.
   ClosurePrefilterEvaluator(const TransitiveClosure& closure,
                             const Evaluator& inner,
-                            const DeltaOverlay* overlay = nullptr)
-      : closure_(&closure), inner_(&inner), overlay_(overlay) {}
+                            const DeltaOverlay* overlay = nullptr,
+                            const SocialGraph* graph = nullptr)
+      : closure_(&closure), inner_(&inner), overlay_(overlay),
+        graph_(graph) {}
 
   std::string_view name() const override { return "closure-prefilter"; }
 
@@ -46,6 +53,7 @@ class ClosurePrefilterEvaluator : public Evaluator {
   const TransitiveClosure* closure_;
   const Evaluator* inner_;
   const DeltaOverlay* overlay_;
+  const SocialGraph* graph_;
 };
 
 }  // namespace sargus

@@ -8,7 +8,8 @@ Result<Evaluation> Evaluator::Evaluate(const ReachQuery& q) const {
   return EvaluateWith(q, ThreadLocalEvalContext());
 }
 
-Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph) {
+Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph,
+                     size_t num_nodes) {
   if (q.expr == nullptr) {
     return Status::InvalidArgument("query has no expression");
   }
@@ -16,8 +17,9 @@ Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph) {
     return Status::InvalidArgument(
         "expression was bound against a different graph");
   }
-  if (q.src >= graph.NumNodes() || q.dst >= graph.NumNodes()) {
-    return Status::InvalidArgument("query endpoint out of range");
+  if (q.src >= num_nodes || q.dst >= num_nodes) {
+    return Status::InvalidArgument(
+        "query endpoint outside the evaluator's snapshot");
   }
   if (q.expr->steps().empty()) {
     return Status::InvalidArgument("expression has no steps");

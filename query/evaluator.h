@@ -83,7 +83,13 @@ class Evaluator {
 };
 
 /// Shared argument validation; returns non-OK to propagate.
-Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph);
+/// `num_nodes` is the evaluator's serving bound — the logical node
+/// count of the snapshot (+ staged overlay nodes) it walks, NOT the
+/// live graph's counter: an endpoint past the frozen snapshot (a node
+/// added after it was built) must fail with kInvalidArgument here
+/// rather than index past scratch arrays sized at snapshot time.
+Status ValidateQuery(const ReachQuery& q, const SocialGraph& graph,
+                     size_t num_nodes);
 
 }  // namespace sargus
 

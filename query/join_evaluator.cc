@@ -8,7 +8,9 @@ namespace sargus {
 
 Result<Evaluation> JoinIndexEvaluator::EvaluateWith(const ReachQuery& q,
                                                     EvalContext& ctx) const {
-  SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_));
+  // The join stack has no overlay: its bound is the line graph's
+  // snapshot node count.
+  SARGUS_RETURN_IF_ERROR(ValidateQuery(q, *graph_, lg_->NumGraphNodes()));
   const BoundPathExpression& expr = *q.expr;
   if (expr.HasBackwardStep() && !lg_->includes_backward()) {
     return Status::FailedPrecondition(

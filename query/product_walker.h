@@ -26,8 +26,8 @@
 /// the overlay must stay frozen for the duration of the walk: mutating
 /// the overlay mid-walk is a logic race (configurations already expanded
 /// used the old delta), and swapping the snapshot is a lifetime bug.
-/// Staged-edge endpoints must be < csr.NumNodes() — visited arrays are
-/// sized to the snapshot.
+/// Staged-edge endpoints must be < LogicalNumNodes(csr, overlay) —
+/// visited arrays are sized to the snapshot plus staged node additions.
 ///
 /// Thread-safety: a walker is single-threaded by construction — it owns
 /// no state but mutates the caller's QueryScratch, which must never be
@@ -67,10 +67,12 @@ class ProductWalker {
         order_(order),
         track_parents_(track_parents),
         num_states_(nfa.NumStates()) {
-    scratch.visited.BeginEpoch(csr.NumNodes() * size_t{num_states_});
-    if (track_parents_ &&
-        scratch.parents.size() < csr.NumNodes() * size_t{num_states_}) {
-      scratch.parents.resize(csr.NumNodes() * size_t{num_states_});
+    // Size by the logical node range — snapshot nodes plus staged node
+    // additions — so walks may touch overlay-staged nodes safely.
+    const size_t slots = LogicalNumNodes(csr, overlay) * size_t{num_states_};
+    scratch.visited.BeginEpoch(slots);
+    if (track_parents_ && scratch.parents.size() < slots) {
+      scratch.parents.resize(slots);
     }
     scratch.frontier.clear();
   }

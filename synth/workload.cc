@@ -13,14 +13,15 @@ std::vector<NodeId> CollectMatchingAudience(const SocialGraph& g,
                                             const BoundPathExpression& expr,
                                             NodeId src, EvalContext* ctx,
                                             const DeltaOverlay* overlay) {
-  if (expr.graph() != &g || src >= csr.NumNodes() || expr.steps().empty()) {
+  const size_t num_nodes = LogicalNumNodes(csr, overlay);
+  if (expr.graph() != &g || src >= num_nodes || expr.steps().empty()) {
     return {};
   }
   QueryScratch& scratch =
       (ctx != nullptr ? *ctx : ThreadLocalEvalContext()).scratch;
   const HopAutomaton& nfa = expr.automaton();
 
-  scratch.node_marks.BeginEpoch(csr.NumNodes());
+  scratch.node_marks.BeginEpoch(num_nodes);
   std::vector<NodeId> audience;
   auto mark = [&](NodeId v) {
     if (scratch.node_marks.Insert(v)) audience.push_back(v);

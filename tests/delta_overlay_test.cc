@@ -194,6 +194,7 @@ TEST(EngineOverlay, CompactFoldsOverlayIntoGraphAndRebuilds) {
   EXPECT_TRUE(f.Granted(5));
 
   ASSERT_TRUE(f.engine->Compact().ok());
+  f.engine->WaitForCompaction();  // background by default; drain for asserts
   EXPECT_TRUE(f.engine->overlay().empty());
   EXPECT_EQ(f.engine->snapshot_generation(), gen + 1);
   // Folded into the system of record.
@@ -205,6 +206,7 @@ TEST(EngineOverlay, CompactFoldsOverlayIntoGraphAndRebuilds) {
   EXPECT_TRUE(f.Granted(5));
   // Idempotent on an empty overlay.
   ASSERT_TRUE(f.engine->Compact().ok());
+  f.engine->WaitForCompaction();
   EXPECT_EQ(f.engine->snapshot_generation(), gen + 1);
 }
 
@@ -217,8 +219,10 @@ TEST(EngineOverlay, AutoCompactionAtThreshold) {
   ASSERT_TRUE(f.engine->AddEdge(1, 4, "colleague").ok());
   EXPECT_EQ(f.engine->snapshot_generation(), gen);
   EXPECT_EQ(f.engine->overlay().size(), 2u);
-  // Third staged mutation trips the threshold.
+  // Third staged mutation trips the threshold (and, by default, kicks
+  // the background pipeline — drain it before asserting folded state).
   ASSERT_TRUE(f.engine->AddEdge(2, 5, "colleague").ok());
+  f.engine->WaitForCompaction();
   EXPECT_EQ(f.engine->snapshot_generation(), gen + 1);
   EXPECT_TRUE(f.engine->overlay().empty());
   const LabelId co = f.g.labels().Lookup("colleague");
@@ -246,6 +250,7 @@ TEST(EngineOverlay, JoinIndexPlansRerouteToOnlineUnderOverlay) {
 
   // Compaction brings the join index back online with the new edges.
   ASSERT_TRUE(f.engine->Compact().ok());
+  f.engine->WaitForCompaction();
   auto after = f.engine->CheckAccess({.requester = 5, .resource = f.res});
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after->granted);
@@ -278,6 +283,7 @@ TEST(EngineOverlay, ClosurePrefilterSuspendedByPendingInsertions) {
 
   // After compaction the closure covers the bridge; still granted.
   ASSERT_TRUE(f.engine->Compact().ok());
+  f.engine->WaitForCompaction();
   auto after = f.engine->CheckAccess({.requester = 3, .resource = f.res});
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after->granted);
@@ -430,11 +436,13 @@ TEST(EngineOverlay, RandomizedInterleavedMutationsAgreeWithOracle) {
     if (op == kOps / 2) {
       check_all("before forced Compact");
       ASSERT_TRUE(engine.Compact().ok());
+      engine.WaitForCompaction();
       EXPECT_TRUE(engine.overlay().empty());
       check_all("after forced Compact");
     }
   }
   // Auto-compaction must have fired at least once at threshold 16.
+  engine.WaitForCompaction();
   EXPECT_GT(engine.snapshot_generation(), 2u);
   check_all("final");
 }

@@ -208,20 +208,6 @@ TEST_F(EngineTest, PerRequestEvaluatorOverride) {
   EXPECT_TRUE(owner->owner_access);
 }
 
-TEST_F(EngineTest, DeprecatedPositionalShimAgrees) {
-  const ResourceId res = store_.RegisterResource(0, "res");
-  ASSERT_TRUE(store_.AddRuleFromPaths(res, {"friend[1]"}).ok());
-  AccessControlEngine engine(g_, store_);
-  ASSERT_TRUE(engine.RebuildIndexes().ok());
-  for (NodeId req = 0; req < 6; ++req) {
-    auto old_api = engine.CheckAccess(req, res);
-    auto new_api = engine.CheckAccess({.requester = req, .resource = res});
-    ASSERT_TRUE(old_api.ok());
-    ASSERT_TRUE(new_api.ok());
-    EXPECT_EQ(old_api->granted, new_api->granted) << req;
-  }
-}
-
 TEST_F(EngineTest, ErrorsAndPreconditions) {
   const ResourceId res = store_.RegisterResource(0, "res");
   AccessControlEngine engine(g_, store_);
@@ -233,7 +219,9 @@ TEST_F(EngineTest, ErrorsAndPreconditions) {
             StatusCode::kInvalidArgument);
   // CheckAccess before RebuildIndexes.
   AccessControlEngine cold(g_, store_);
-  EXPECT_EQ(cold.CheckAccess(1, res).status().code(),
+  EXPECT_EQ(cold.CheckAccess({.requester = 1, .resource = res})
+                .status()
+                .code(),
             StatusCode::kFailedPrecondition);
 }
 
