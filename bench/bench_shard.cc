@@ -1,0 +1,197 @@
+/// B11 -- Sharded serving tier.
+///
+/// Drives ShardRouter end to end over Zipf-skewed request mixes (hot
+/// owners dominate, the way social traffic does) and reports, next to
+/// the latency series, the router's own counters:
+///
+///  * summary_hit_rate — fraction of cross-shard checks the boundary
+///    summaries resolved without any frontier exchange. The acceptance
+///    criterion for the subsystem is >= 0.80 on the fresh-summary
+///    series (BM_ShardCheckAccess / BM_ShardCheckBatch).
+///  * fallback_rounds_per_walk — mean frontier-exchange rounds when the
+///    fallback does run (the dirty-shard series BM_ShardDirtyChurn
+///    forces it by mutating without RefreshSummaries()).
+///  * cross_share — fraction of checks that needed the cross-shard
+///    machinery at all (the rest were answered owner-locally).
+///
+/// BM_ShardSummaryRefresh prices the summaries themselves: the full
+/// per-shard product-SCC + restricted 2-hop rebuild.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "shard/router.h"
+
+namespace sargus {
+namespace bench {
+namespace {
+
+constexpr size_t kNodes = 2000;
+constexpr size_t kResources = 64;
+constexpr double kTheta = 0.8;
+
+struct ShardedFixture {
+  std::unique_ptr<SocialGraph> graph;
+  std::unique_ptr<PolicyStore> store;
+  std::unique_ptr<ShardRouter> router;
+  std::vector<ResourceId> resources;
+};
+
+std::unique_ptr<ShardedFixture> MakeFixture(uint32_t shards,
+                                            bool build_summaries) {
+  auto f = std::make_unique<ShardedFixture>();
+  f->graph = std::make_unique<SocialGraph>(
+      MakeGraph(GraphKind::kBarabasiAlbert, kNodes, 3, /*seed=*/17));
+  f->store = std::make_unique<PolicyStore>();
+  // Hot owners: resource ownership is itself Zipf-skewed over the node
+  // space, so the request mix concentrates on a few popular owners.
+  ZipfSampler owners(kNodes, kTheta, 99);
+  const std::vector<std::vector<std::string>> rule_sets = {
+      {"friend[1,2]"},
+      {"friend[1,2]/colleague[1]"},
+      {"colleague[1,3]"},
+  };
+  for (size_t i = 0; i < kResources; ++i) {
+    const ResourceId r = f->store->RegisterResource(
+        static_cast<NodeId>(owners.Next()), "res" + std::to_string(i));
+    if (!f->store->AddRuleFromPaths(r, rule_sets[i % rule_sets.size()]).ok()) {
+      return nullptr;
+    }
+    f->resources.push_back(r);
+  }
+  RouterOptions opts;
+  opts.partition.num_shards = shards;
+  // Contiguous ranges ignore community structure on purpose: they cut
+  // straight through the BA core, which is what makes the cross-shard
+  // machinery (summaries, fallback) actually carry traffic here.
+  opts.partition.strategy = PartitionStrategy::kContiguous;
+  opts.build_summaries = build_summaries;
+  f->router = std::make_unique<ShardRouter>(*f->graph, *f->store, opts);
+  if (!f->router->Build().ok()) return nullptr;
+  return f;
+}
+
+void ReportCounters(benchmark::State& state, const RouterCounters& before,
+                    const RouterCounters& after) {
+  const double cross =
+      static_cast<double>(after.cross_shard_checks - before.cross_shard_checks);
+  const double checks = static_cast<double>(after.checks - before.checks);
+  const double fallback_checks = static_cast<double>(
+      after.cross_fallback_walks - before.cross_fallback_walks);
+  const double walks =
+      static_cast<double>(after.fallback_walks - before.fallback_walks);
+  const double rounds =
+      static_cast<double>(after.fallback_rounds - before.fallback_rounds);
+  state.counters["cross_share"] = checks > 0 ? cross / checks : 0.0;
+  state.counters["summary_hit_rate"] =
+      cross > 0 ? 1.0 - fallback_checks / cross : 1.0;
+  state.counters["fallback_rounds_per_walk"] = walks > 0 ? rounds / walks : 0.0;
+}
+
+void BM_ShardCheckAccess(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  auto f = MakeFixture(shards, /*build_summaries=*/true);
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  ZipfSampler requesters(kNodes, kTheta, 7);
+  ZipfSampler targets(kResources, kTheta, 8);
+  const RouterCounters before = f->router->counters();
+  for (auto _ : state) {
+    AccessRequest req;
+    req.requester = static_cast<NodeId>(requesters.Next());
+    req.resource = f->resources[targets.Next()];
+    auto d = f->router->CheckAccess(req);
+    benchmark::DoNotOptimize(d);
+  }
+  ReportCounters(state, before, f->router->counters());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardCheckAccess)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ShardCheckBatch(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  constexpr size_t kBatch = 64;
+  auto f = MakeFixture(shards, /*build_summaries=*/true);
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  ZipfSampler requesters(kNodes, kTheta, 7);
+  ZipfSampler targets(kResources, kTheta, 8);
+  std::vector<AccessRequest> batch(kBatch);
+  const RouterCounters before = f->router->counters();
+  for (auto _ : state) {
+    for (auto& req : batch) {
+      req.requester = static_cast<NodeId>(requesters.Next());
+      req.resource = f->resources[targets.Next()];
+    }
+    auto decisions = f->router->CheckAccessBatch(batch);
+    benchmark::DoNotOptimize(decisions);
+  }
+  ReportCounters(state, before, f->router->counters());
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ShardCheckBatch)->Arg(1)->Arg(4)->Arg(8);
+
+/// Dirty-shard series: a mutation every k checks, never refreshing the
+/// summaries — every cross-shard check after the first mutation takes
+/// the frontier-exchange fallback. Prices the conservatism.
+void BM_ShardDirtyChurn(benchmark::State& state) {
+  const auto checks_per_mutation = static_cast<size_t>(state.range(0));
+  auto f = MakeFixture(4, /*build_summaries=*/true);
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  ZipfSampler requesters(kNodes, kTheta, 7);
+  ZipfSampler targets(kResources, kTheta, 8);
+  Rng rng(21);
+  const RouterCounters before = f->router->counters();
+  size_t since_mutation = 0;
+  for (auto _ : state) {
+    if (++since_mutation >= checks_per_mutation) {
+      since_mutation = 0;
+      const NodeId a = static_cast<NodeId>(rng.NextBounded(kNodes));
+      const NodeId b = static_cast<NodeId>(rng.NextBounded(kNodes));
+      if (a != b) (void)f->router->AddEdge(a, b, "friend");
+    }
+    AccessRequest req;
+    req.requester = static_cast<NodeId>(requesters.Next());
+    req.resource = f->resources[targets.Next()];
+    auto d = f->router->CheckAccess(req);
+    benchmark::DoNotOptimize(d);
+  }
+  ReportCounters(state, before, f->router->counters());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardDirtyChurn)->Arg(16)->Arg(256);
+
+/// Full summary rebuild across all shards (product SCC + condensation +
+/// restricted 2-hop per rule path per shard).
+void BM_ShardSummaryRefresh(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  auto f = MakeFixture(shards, /*build_summaries=*/true);
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!f->router->RefreshSummaries().ok()) {
+      state.SkipWithError("refresh failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ShardSummaryRefresh)->Arg(2)->Arg(8);
+
+}  // namespace
+}  // namespace bench
+}  // namespace sargus
+
+BENCHMARK_MAIN();

@@ -49,6 +49,12 @@ class HopAutomaton {
   /// Step index a state consumes edges for.
   uint32_t StepOf(uint32_t state) const { return states_[state].step; }
 
+  /// Hops already consumed within StepOf(state). Together with the
+  /// steps' max bounds this reconstructs the residual hop budget of a
+  /// mid-walk configuration — what a cross-shard frontier entry carries
+  /// (see shard/wire.h).
+  uint32_t HopsOf(uint32_t state) const { return states_[state].hops; }
+
   const BoundStep& StepSpec(uint32_t state) const {
     return steps_[states_[state].step];
   }

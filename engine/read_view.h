@@ -316,6 +316,14 @@ class AccessReadView {
   const CsrSnapshot& csr() const { return idx_->csr; }
   size_t num_resources() const { return policy_->resources.size(); }
 
+  /// Raw pieces of the frozen bundle, exposed for the sharded serving
+  /// tier (shard/): cross-shard frontier expansion and boundary-summary
+  /// builds run ProductWalker directly over this view's (graph, csr,
+  /// overlay, compiled rules). Same lifetime and immutability contract
+  /// as csr()/overlay() — valid while the view is held, never mutated.
+  const SocialGraph& graph() const { return *graph_; }
+  const PolicySnapshot& policy() const { return *policy_; }
+
   /// Node ids this view can answer for: snapshot nodes plus the frozen
   /// overlay's staged node additions. A request (or resource owner)
   /// at or past this bound — e.g. a node added after this view was

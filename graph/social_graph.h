@@ -121,6 +121,10 @@ class SocialGraph {
   const NameDictionary& labels() const { return labels_; }
   NameDictionary& labels() { return labels_; }
   const NameDictionary& attrs() const { return attrs_; }
+  /// Mutable attribute dictionary, mirroring labels(): shard-graph
+  /// extraction pre-interns every name so attribute ids are identical
+  /// across all shard copies (see graph/subgraph.h).
+  NameDictionary& attrs() { return attrs_; }
 
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const;

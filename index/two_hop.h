@@ -60,6 +60,21 @@ class TwoHopLabeling {
   static Result<TwoHopLabeling> Build(const Dag& dag,
                                       TwoHopOptions options = {});
 
+  /// Build() variant whose *stored* labels cover only the vertices in
+  /// `keep` (order irrelevant, duplicates tolerated, out-of-range
+  /// entries rejected). The pruned sweep still runs over the whole DAG
+  /// — pruning consults every vertex's labels during construction — but
+  /// the flattened result drops all other vertices' hub lists, so the
+  /// resident footprint scales with |keep|, not the DAG. Reachable(u, v)
+  /// stays exact when both endpoints are keep vertices (and trivially
+  /// for u == v); any other pair may report a false negative. The shard
+  /// boundary summaries build through this: they only ever ask
+  /// boundary-to-boundary questions, and shard-cut boundary sets are
+  /// tiny next to the full product DAG (see shard/boundary_summary.h).
+  static Result<TwoHopLabeling> BuildRestricted(const Dag& dag,
+                                                std::span<const uint32_t> keep,
+                                                TwoHopOptions options = {});
+
   /// Patched copy of `prev` covering `new_dag` = prev's DAG plus
   /// appended vertices (ids ≥ old_num_vertices) and `new_arcs` (each
   /// must be a new_dag arc; duplicates tolerated). `new_dag` must still

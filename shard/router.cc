@@ -1,0 +1,726 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/subgraph.h"
+
+namespace sargus {
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+uint64_t ConfigKey(const wire::FrontierEntry& e) {
+  return (static_cast<uint64_t>(e.node) << 32) | e.state;
+}
+
+/// Inserts `node` into a sorted-unique vector.
+void SortedInsert(std::vector<NodeId>& v, NodeId node) {
+  const auto it = std::lower_bound(v.begin(), v.end(), node);
+  if (it == v.end() || *it != node) v.insert(it, node);
+}
+
+void SortedErase(std::vector<NodeId>& v, NodeId node) {
+  const auto it = std::lower_bound(v.begin(), v.end(), node);
+  if (it != v.end() && *it == node) v.erase(it);
+}
+
+bool HasCutArc(const ShardTopology& topo, NodeId src, NodeId dst,
+               LabelId label) {
+  for (const CutArc& a : topo.CutOut(src)) {
+    if (a.other == dst && a.label == label) return true;
+  }
+  return false;
+}
+
+void EraseCutArc(std::unordered_map<NodeId, std::vector<CutArc>>& map,
+                 NodeId key, NodeId other, LabelId label) {
+  const auto it = map.find(key);
+  if (it == map.end()) return;
+  auto& arcs = it->second;
+  for (auto a = arcs.begin(); a != arcs.end(); ++a) {
+    if (a->other == other && a->label == label) {
+      arcs.erase(a);
+      break;
+    }
+  }
+  if (arcs.empty()) map.erase(it);
+}
+
+bool TouchesCut(const ShardTopology& topo, NodeId node) {
+  return !topo.CutOut(node).empty() || !topo.CutIn(node).empty();
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(SocialGraph& graph, const PolicyStore& store,
+                         RouterOptions options)
+    : master_graph_(&graph),
+      master_store_(&store),
+      options_(std::move(options)) {}
+
+Status ShardRouter::Build() {
+  SARGUS_ASSIGN_OR_RETURN(
+      partition_, GraphPartitioner::Partition(*master_graph_, options_.partition));
+
+  shards_.clear();
+  if (partition_.num_shards == 1) {
+    // Zero-copy passthrough: one engine over the caller's graph + store.
+    shards_.push_back(std::make_unique<ShardEngine>(
+        0, *master_graph_, *master_store_, options_.engine));
+  } else {
+    for (uint32_t s = 0; s < partition_.num_shards; ++s) {
+      SARGUS_ASSIGN_OR_RETURN(
+          SocialGraph sub,
+          ExtractShardGraph(*master_graph_, partition_.shard_of, s));
+      SARGUS_ASSIGN_OR_RETURN(PolicyStore cloned,
+                              ClonePolicyStore(*master_store_));
+      shards_.push_back(std::make_unique<ShardEngine>(
+          s, std::make_unique<SocialGraph>(std::move(sub)),
+          std::make_unique<PolicyStore>(std::move(cloned)), options_.engine));
+    }
+  }
+  for (auto& shard : shards_) {
+    SARGUS_RETURN_IF_ERROR(shard->Build());
+  }
+
+  resources_.clear();
+  resources_.reserve(master_store_->NumResources());
+  for (ResourceId r = 0; r < master_store_->NumResources(); ++r) {
+    const PolicyStore::Resource& res = master_store_->resource(r);
+    resources_.push_back(RouterResource{res.owner, res.rules});
+  }
+  paths_.assign(master_store_->NumRules(), {});
+  for (RuleId id = 0; id < master_store_->NumRules(); ++id) {
+    for (const PathExpression& expr : master_store_->rule(id).paths) {
+      RouterPath rp;
+      Result<BoundPathExpression> bound =
+          BoundPathExpression::Bind(expr, *master_graph_);
+      if (bound.ok()) {
+        rp.bound =
+            std::make_shared<const BoundPathExpression>(std::move(*bound));
+      } else {
+        rp.bind_status = bound.status();
+      }
+      paths_[id].push_back(std::move(rp));
+    }
+  }
+
+  auto topo = std::make_shared<ShardTopology>();
+  topo->num_shards = partition_.num_shards;
+  topo->shard_of = partition_.shard_of;
+  topo->boundary.resize(partition_.num_shards);
+  for (const Edge& e : partition_.cut_edges) {
+    topo->cut_out[e.src].push_back({e.dst, e.label});
+    topo->cut_in[e.dst].push_back({e.src, e.label});
+  }
+  for (const Edge& e : partition_.cut_edges) {
+    SortedInsert(topo->boundary[topo->shard_of[e.src]], e.src);
+    SortedInsert(topo->boundary[topo->shard_of[e.dst]], e.dst);
+  }
+  topo->epoch = 1;
+  PublishTopology(std::move(topo));
+
+  loads_.assign(partition_.num_shards, 0);
+  for (uint32_t s = 0; s < partition_.num_shards; ++s) {
+    loads_[s] = partition_.members[s].size();
+  }
+
+  built_ = true;
+  if (options_.build_summaries && shards_.size() > 1) {
+    return RefreshSummaries();
+  }
+  return OkStatus();
+}
+
+void ShardRouter::PublishTopology(std::shared_ptr<const ShardTopology> topo) {
+  {
+    std::lock_guard<std::mutex> lock(topo_mu_);
+    topo_ = topo;
+  }
+  for (auto& shard : shards_) shard->SetTopology(topo);
+}
+
+std::shared_ptr<const ShardTopology> ShardRouter::topology() const {
+  std::lock_guard<std::mutex> lock(topo_mu_);
+  return topo_;
+}
+
+wire::Stamp ShardRouter::Stamp() const {
+  wire::Stamp total;
+  for (const auto& shard : shards_) {
+    const wire::Stamp s = shard->ViewStamp();
+    total.snapshot_generation += s.snapshot_generation;
+    total.overlay_version += s.overlay_version;
+  }
+  return total;
+}
+
+RouterCounters ShardRouter::counters() const {
+  RouterCounters c;
+  c.checks = counters_.checks.load(kRelaxed);
+  c.cross_shard_checks = counters_.cross_shard_checks.load(kRelaxed);
+  c.local_conclusive = counters_.local_conclusive.load(kRelaxed);
+  c.summary_resolved = counters_.summary_resolved.load(kRelaxed);
+  c.fallback_walks = counters_.fallback_walks.load(kRelaxed);
+  c.cross_fallback_walks = counters_.cross_fallback_walks.load(kRelaxed);
+  c.fallback_rounds = counters_.fallback_rounds.load(kRelaxed);
+  c.stale_summary_fallbacks = counters_.stale_summary_fallbacks.load(kRelaxed);
+  c.capped_compositions = counters_.capped_compositions.load(kRelaxed);
+  return c;
+}
+
+Result<AccessDecision> ShardRouter::CheckAccess(
+    const AccessRequest& request) const {
+  if (!built_) {
+    return Status::FailedPrecondition("ShardRouter: Build() not called");
+  }
+  counters_.checks.fetch_add(1, kRelaxed);
+  if (shards_.size() == 1) {
+    // Passthrough: the decision carries the engine's own stamps.
+    return shards_[0]->engine().CheckAccess(request);
+  }
+  return DecideMulti(request);
+}
+
+Result<AccessDecision> ShardRouter::DecideMulti(
+    const AccessRequest& request) const {
+  const auto topo = topology();
+  if (request.resource >= resources_.size()) {
+    return Status::NotFound("ShardRouter: unknown resource " +
+                            std::to_string(request.resource));
+  }
+  if (request.requester >= topo->shard_of.size()) {
+    return Status::InvalidArgument("ShardRouter: requester " +
+                                   std::to_string(request.requester) +
+                                   " out of range");
+  }
+  const RouterResource& res = resources_[request.resource];
+  const wire::Stamp stamp = Stamp();
+
+  if (request.requester == res.owner) {
+    AccessDecision d;
+    d.granted = true;
+    d.owner_access = true;
+    d.requester = request.requester;
+    d.resource = request.resource;
+    d.evaluator_name = "shard-owner";
+    d.snapshot_generation = stamp.snapshot_generation;
+    d.overlay_version = stamp.overlay_version;
+    return d;
+  }
+
+  // Step 1 (local phase): the owner shard decides over its local edges.
+  // A grant is authoritative — local edges are a subset of global edges
+  // — and carries the witness when one was requested.
+  const uint32_t owner_shard = topo->shard_of[res.owner];
+  const wire::CheckReply local = shards_[owner_shard]->Check(ToWire(request));
+  if (local.status_code == 0 && local.granted != 0) {
+    counters_.local_conclusive.fetch_add(1, kRelaxed);
+    Result<AccessDecision> d =
+        FromWire(local, request.requester, request.resource);
+    d->snapshot_generation = stamp.snapshot_generation;
+    d->overlay_version = stamp.overlay_version;
+    return d;
+  }
+  if (request.evaluator_override.has_value() && local.status_code != 0) {
+    // Evaluator overrides are a shard-local concern (the cross-shard
+    // procedure has its own fixed strategy); surface the shard's error
+    // the way a single engine would.
+    return wire::UnpackStatus(local.status_code, local.error);
+  }
+
+  // Steps 2-3: per rule path, exact global reachability. Disjunction
+  // semantics mirror the engine: first error is remembered and surfaced
+  // only when nothing grants.
+  counters_.cross_shard_checks.fetch_add(1, kRelaxed);
+  CrossStats cross;
+  cross.pairs_visited = local.pairs_visited;
+  std::optional<Status> first_error;
+  std::optional<RuleId> matched;
+  for (const RuleId rule : res.rules) {
+    for (uint32_t p = 0; p < paths_[rule].size() && !matched; ++p) {
+      const RouterPath& rp = paths_[rule][p];
+      if (!rp.bind_status.ok()) {
+        if (!first_error.has_value()) first_error = rp.bind_status;
+        continue;
+      }
+      Result<bool> reached =
+          PathReaches(*topo, rule, p, res.owner, request.requester, cross);
+      if (!reached.ok()) {
+        if (!first_error.has_value()) first_error = reached.status();
+        continue;
+      }
+      if (*reached) matched = rule;
+    }
+    if (matched.has_value()) break;
+  }
+  if (cross.used_fallback) {
+    counters_.cross_fallback_walks.fetch_add(1, kRelaxed);
+  } else {
+    counters_.summary_resolved.fetch_add(1, kRelaxed);
+  }
+  if (!matched.has_value() && first_error.has_value()) return *first_error;
+
+  AccessDecision d;
+  d.granted = matched.has_value();
+  d.requester = request.requester;
+  d.resource = request.resource;
+  d.matched_rule = matched;
+  d.stats.pairs_visited = cross.pairs_visited;
+  d.evaluator_name = cross.used_fallback  ? "shard-frontier"
+                     : cross.used_summary ? "shard-summary"
+                                          : "shard-local";
+  d.snapshot_generation = stamp.snapshot_generation;
+  d.overlay_version = stamp.overlay_version;
+  return d;
+}
+
+Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
+                                      uint32_t path, NodeId owner,
+                                      NodeId requester,
+                                      CrossStats& stats) const {
+  // Phase one: walk the owner's shard from the automaton start closure.
+  wire::WalkRequest phase1;
+  phase1.rule = rule;
+  phase1.path = path;
+  phase1.requester = requester;
+  phase1.seed = wire::WalkSeed::kOwnerStarts;
+  phase1.owner = owner;
+  const wire::WalkReply r1 =
+      shards_[topo.shard_of[owner]]->ExpandFrontier(phase1);
+  if (r1.status_code != 0) {
+    return wire::UnpackStatus(r1.status_code, r1.error);
+  }
+  stats.pairs_visited += r1.pairs_visited;
+  if (r1.accepted != 0) return true;
+  // Nothing escaped the shard: the deny is global, no summary needed.
+  if (r1.exports.empty()) return false;
+
+  if (!options_.build_summaries) {
+    return FallbackWalk(topo, rule, path, owner, requester, r1.exports, stats);
+  }
+
+  // Step 2: router-local summary composition. A worklist of boundary
+  // configurations; each is pushed through its shard's summary (exact
+  // boundary-to-boundary product reachability), then expanded across
+  // cut edges, until acceptance, a fixpoint, or a reason to fall back.
+  const RouterPath& rp = paths_[rule][path];
+  const HopAutomaton& nfa = rp.bound->automaton();
+  const uint32_t num_states = nfa.NumStates();
+  const std::vector<uint32_t> residual = wire::ResidualHopBudgets(nfa);
+  const uint32_t req_shard = topo.shard_of[requester];
+
+  std::unordered_set<uint64_t> processed;
+  std::vector<wire::FrontierEntry> queue;
+  std::vector<wire::FrontierEntry> final_seeds;
+  auto enqueue = [&](const wire::FrontierEntry& e) {
+    if (!processed.insert(ConfigKey(e)).second) return;
+    queue.push_back(e);
+    // Entry configurations in the requester's shard also seed the final
+    // local walk (interior acceptance is invisible to summaries, which
+    // only speak boundary-to-boundary).
+    if (topo.shard_of[e.node] == req_shard) final_seeds.push_back(e);
+  };
+  for (const wire::FrontierEntry& e : r1.exports) enqueue(e);
+
+  // Summaries pinned and freshness-checked once per shard per call.
+  std::vector<std::shared_ptr<const BoundarySummary>> pinned(shards_.size());
+  std::vector<uint8_t> pin_checked(shards_.size(), 0);
+  auto summary_for = [&](uint32_t s) -> const BoundarySummary* {
+    if (pin_checked[s] == 0) {
+      pin_checked[s] = 1;
+      auto sum = shards_[s]->summary();
+      if (sum != nullptr && sum->stamp() == shards_[s]->ViewStamp() &&
+          sum->PathBuilt(rule, path)) {
+        pinned[s] = std::move(sum);
+      }
+    }
+    return pinned[s].get();
+  };
+
+  size_t tests = 0;
+  while (!queue.empty()) {
+    const wire::FrontierEntry entry = queue.back();
+    queue.pop_back();
+    const uint32_t c = topo.shard_of[entry.node];
+    const BoundarySummary* sum = summary_for(c);
+    const int64_t from_idx =
+        sum == nullptr ? -1 : sum->BoundaryIndexOf(entry.node);
+    if (from_idx < 0) {
+      counters_.stale_summary_fallbacks.fetch_add(1, kRelaxed);
+      return FallbackWalk(topo, rule, path, owner, requester, r1.exports,
+                          stats);
+    }
+    for (size_t j = 0; j < sum->num_boundary(); ++j) {
+      for (uint32_t t2 = 0; t2 < num_states; ++t2) {
+        if (++tests > options_.max_composition_tests) {
+          counters_.capped_compositions.fetch_add(1, kRelaxed);
+          return FallbackWalk(topo, rule, path, owner, requester, r1.exports,
+                              stats);
+        }
+        if (!sum->Reaches(rule, path, static_cast<size_t>(from_idx),
+                          entry.state, j, t2)) {
+          continue;
+        }
+        // The walk can sit at boundary vertex bv in state t2; expand the
+        // crossing over every matching cut edge, checking the far node
+        // against the step filter and the accept-after-edge test exactly
+        // as a live walker would.
+        const NodeId bv = sum->boundary_nodes()[j];
+        const BoundStep& step = nfa.StepSpec(t2);
+        const bool accepts = nfa.AcceptsAfterEdge(t2);
+        const std::vector<uint32_t>& targets = nfa.TargetsAfterEdge(t2);
+        const std::span<const CutArc> arcs =
+            step.backward ? topo.CutIn(bv) : topo.CutOut(bv);
+        for (const CutArc& arc : arcs) {
+          if (arc.label != step.label) continue;
+          if (!BoundPathExpression::NodePasses(*master_graph_, arc.other,
+                                               step)) {
+            continue;
+          }
+          if (accepts && arc.other == requester) {
+            stats.used_summary = true;
+            return true;
+          }
+          for (uint32_t t3 : targets) {
+            enqueue({arc.other, t3, residual[t3]});
+          }
+        }
+      }
+    }
+  }
+  stats.used_summary = true;
+  if (final_seeds.empty()) return false;
+
+  // Final local walk in the requester's shard.
+  wire::WalkRequest fin;
+  fin.rule = rule;
+  fin.path = path;
+  fin.requester = requester;
+  fin.seed = wire::WalkSeed::kFrontier;
+  fin.owner = owner;
+  fin.frontier = std::move(final_seeds);
+  const wire::WalkReply rf = shards_[req_shard]->ExpandFrontier(fin);
+  if (rf.status_code != 0) {
+    return wire::UnpackStatus(rf.status_code, rf.error);
+  }
+  stats.pairs_visited += rf.pairs_visited;
+  return rf.accepted != 0;
+}
+
+Result<bool> ShardRouter::FallbackWalk(
+    const ShardTopology& topo, RuleId rule, uint32_t path, NodeId owner,
+    NodeId requester, std::span<const wire::FrontierEntry> seeds,
+    CrossStats& stats) const {
+  stats.used_fallback = true;
+  counters_.fallback_walks.fetch_add(1, kRelaxed);
+
+  // Two-phase rounds: every shard with pending entries walks once per
+  // round; fresh exports only enter the NEXT round's pending sets, so a
+  // round's walks are independent of each other's results. The global
+  // processed set makes each (node, state) configuration cross a shard
+  // boundary at most once, which bounds the rounds.
+  std::unordered_set<uint64_t> processed;
+  std::vector<std::vector<wire::FrontierEntry>> pending(shards_.size());
+  auto enqueue = [&](const wire::FrontierEntry& e,
+                     std::vector<std::vector<wire::FrontierEntry>>& dest) {
+    if (processed.insert(ConfigKey(e)).second) {
+      dest[topo.shard_of[e.node]].push_back(e);
+    }
+  };
+  for (const wire::FrontierEntry& e : seeds) enqueue(e, pending);
+
+  uint64_t rounds = 0;
+  bool accepted = false;
+  while (!accepted) {
+    std::vector<std::vector<wire::FrontierEntry>> next(shards_.size());
+    bool any = false;
+    for (uint32_t s = 0; s < shards_.size() && !accepted; ++s) {
+      if (pending[s].empty()) continue;
+      any = true;
+      wire::WalkRequest wr;
+      wr.rule = rule;
+      wr.path = path;
+      wr.requester = requester;
+      wr.seed = wire::WalkSeed::kFrontier;
+      wr.owner = owner;
+      wr.frontier = std::move(pending[s]);
+      const wire::WalkReply r = shards_[s]->ExpandFrontier(wr);
+      if (r.status_code != 0) {
+        counters_.fallback_rounds.fetch_add(rounds, kRelaxed);
+        return wire::UnpackStatus(r.status_code, r.error);
+      }
+      stats.pairs_visited += r.pairs_visited;
+      if (r.accepted != 0) {
+        accepted = true;
+        break;
+      }
+      for (const wire::FrontierEntry& e : r.exports) enqueue(e, next);
+    }
+    if (!any) break;
+    ++rounds;
+    pending = std::move(next);
+  }
+  counters_.fallback_rounds.fetch_add(rounds, kRelaxed);
+  return accepted;
+}
+
+std::vector<Result<AccessDecision>> ShardRouter::CheckAccessBatch(
+    std::span<const AccessRequest> requests) const {
+  if (!built_) {
+    std::vector<Result<AccessDecision>> out;
+    out.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      out.emplace_back(
+          Status::FailedPrecondition("ShardRouter: Build() not called"));
+    }
+    return out;
+  }
+  counters_.checks.fetch_add(requests.size(), kRelaxed);
+  if (shards_.size() == 1) {
+    return shards_[0]->engine().CheckAccessBatch(requests);
+  }
+
+  const auto topo = topology();
+  const wire::Stamp stamp = Stamp();
+  std::vector<std::optional<Result<AccessDecision>>> slots(requests.size());
+
+  // Group by resource-owner shard; one shard-local batch per group.
+  // Shard-local grants are authoritative; everything else escalates.
+  std::vector<std::vector<uint32_t>> groups(shards_.size());
+  for (uint32_t i = 0; i < requests.size(); ++i) {
+    const AccessRequest& r = requests[i];
+    if (r.resource >= resources_.size()) {
+      slots[i] = Status::NotFound("ShardRouter: unknown resource " +
+                                  std::to_string(r.resource));
+      continue;
+    }
+    if (r.requester >= topo->shard_of.size()) {
+      slots[i] = Status::InvalidArgument("ShardRouter: requester " +
+                                         std::to_string(r.requester) +
+                                         " out of range");
+      continue;
+    }
+    groups[topo->shard_of[resources_[r.resource].owner]].push_back(i);
+  }
+  for (uint32_t s = 0; s < groups.size(); ++s) {
+    if (groups[s].empty()) continue;
+    wire::BatchCheckRequest batch;
+    batch.requests.reserve(groups[s].size());
+    for (uint32_t i : groups[s]) batch.requests.push_back(ToWire(requests[i]));
+    const wire::BatchCheckReply replies = shards_[s]->CheckBatch(batch);
+    if (replies.replies.size() != groups[s].size()) continue;  // escalate all
+    for (size_t k = 0; k < groups[s].size(); ++k) {
+      const uint32_t i = groups[s][k];
+      const wire::CheckReply& reply = replies.replies[k];
+      if (reply.status_code != 0 || reply.granted == 0) continue;
+      counters_.local_conclusive.fetch_add(1, kRelaxed);
+      Result<AccessDecision> d =
+          FromWire(reply, requests[i].requester, requests[i].resource);
+      d->snapshot_generation = stamp.snapshot_generation;
+      d->overlay_version = stamp.overlay_version;
+      slots[i] = std::move(d);
+    }
+  }
+
+  std::vector<Result<AccessDecision>> out;
+  out.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (slots[i].has_value()) {
+      out.push_back(std::move(*slots[i]));
+    } else {
+      out.push_back(DecideMulti(requests[i]));
+    }
+  }
+  return out;
+}
+
+Status ShardRouter::AddEdge(NodeId src, NodeId dst, const std::string& label) {
+  if (!built_) {
+    return Status::FailedPrecondition("ShardRouter: Build() not called");
+  }
+  if (shards_.size() == 1) {
+    return shards_[0]->engine().AddEdge(src, dst, label);
+  }
+  const auto topo = topology();
+  if (src >= topo->shard_of.size() || dst >= topo->shard_of.size()) {
+    return Status::InvalidArgument("AddEdge: endpoint out of range");
+  }
+  // Pre-intern the name everywhere (master first) so the id every shard
+  // resolves is identical — the invariant wire frontiers rely on.
+  const LabelId id = master_graph_->labels().Intern(label);
+  for (auto& shard : shards_) {
+    if (shard->InternLabel(label) != id) {
+      return Status::Internal("AddEdge: label dictionaries diverged");
+    }
+  }
+  return AddEdge(src, dst, id);
+}
+
+Status ShardRouter::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  if (!built_) {
+    return Status::FailedPrecondition("ShardRouter: Build() not called");
+  }
+  if (shards_.size() == 1) {
+    return shards_[0]->engine().AddEdge(src, dst, label);
+  }
+  const auto topo = topology();
+  if (src >= topo->shard_of.size() || dst >= topo->shard_of.size()) {
+    return Status::InvalidArgument("AddEdge: endpoint out of range");
+  }
+  const uint32_t s1 = topo->shard_of[src];
+  const uint32_t s2 = topo->shard_of[dst];
+
+  wire::MutateRequest req;
+  req.op = wire::MutateOp::kAddEdge;
+  req.src = src;
+  req.dst = dst;
+  req.label = label;
+  const wire::MutateReply r1 = shards_[s1]->Mutate(req);
+  Status st = wire::UnpackStatus(r1.status_code, r1.error);
+  if (s2 != s1) {
+    const wire::MutateReply r2 = shards_[s2]->Mutate(req);
+    const Status st2 = wire::UnpackStatus(r2.status_code, r2.error);
+    if (st.ok() != st2.ok()) {
+      return Status::Internal("AddEdge: shards disagree (" + st.ToString() +
+                              " vs " + st2.ToString() + ")");
+    }
+  }
+  if (!st.ok()) return st;
+  if (s1 != s2 && !HasCutArc(*topo, src, dst, label)) {
+    auto next = std::make_shared<ShardTopology>(*topo);
+    next->cut_out[src].push_back({dst, label});
+    next->cut_in[dst].push_back({src, label});
+    SortedInsert(next->boundary[s1], src);
+    SortedInsert(next->boundary[s2], dst);
+    ++next->epoch;
+    PublishTopology(std::move(next));
+  }
+  return OkStatus();
+}
+
+Status ShardRouter::RemoveEdge(NodeId src, NodeId dst,
+                               const std::string& label) {
+  if (!built_) {
+    return Status::FailedPrecondition("ShardRouter: Build() not called");
+  }
+  if (shards_.size() == 1) {
+    return shards_[0]->engine().RemoveEdge(src, dst, label);
+  }
+  const LabelId id = master_graph_->labels().Lookup(label);
+  if (id == kInvalidLabel) {
+    return Status::NotFound("RemoveEdge: unknown label '" + label + "'");
+  }
+  return RemoveEdge(src, dst, id);
+}
+
+Status ShardRouter::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
+  if (!built_) {
+    return Status::FailedPrecondition("ShardRouter: Build() not called");
+  }
+  if (shards_.size() == 1) {
+    return shards_[0]->engine().RemoveEdge(src, dst, label);
+  }
+  const auto topo = topology();
+  if (src >= topo->shard_of.size() || dst >= topo->shard_of.size()) {
+    return Status::InvalidArgument("RemoveEdge: endpoint out of range");
+  }
+  const uint32_t s1 = topo->shard_of[src];
+  const uint32_t s2 = topo->shard_of[dst];
+
+  wire::MutateRequest req;
+  req.op = wire::MutateOp::kRemoveEdge;
+  req.src = src;
+  req.dst = dst;
+  req.label = label;
+  const wire::MutateReply r1 = shards_[s1]->Mutate(req);
+  Status st = wire::UnpackStatus(r1.status_code, r1.error);
+  if (s2 != s1) {
+    const wire::MutateReply r2 = shards_[s2]->Mutate(req);
+    const Status st2 = wire::UnpackStatus(r2.status_code, r2.error);
+    if (st.ok() != st2.ok()) {
+      return Status::Internal("RemoveEdge: shards disagree (" + st.ToString() +
+                              " vs " + st2.ToString() + ")");
+    }
+  }
+  if (!st.ok()) return st;
+  if (s1 != s2 && HasCutArc(*topo, src, dst, label)) {
+    auto next = std::make_shared<ShardTopology>(*topo);
+    EraseCutArc(next->cut_out, src, dst, label);
+    EraseCutArc(next->cut_in, dst, src, label);
+    if (!TouchesCut(*next, src)) SortedErase(next->boundary[s1], src);
+    if (!TouchesCut(*next, dst)) SortedErase(next->boundary[s2], dst);
+    ++next->epoch;
+    PublishTopology(std::move(next));
+  }
+  return OkStatus();
+}
+
+Result<NodeId> ShardRouter::AddNode() {
+  if (!built_) {
+    return Status::FailedPrecondition("ShardRouter: Build() not called");
+  }
+  const auto topo = topology();
+  if (shards_.size() == 1) {
+    SARGUS_ASSIGN_OR_RETURN(const NodeId id,
+                            shards_[0]->engine().AddNode());
+    auto next = std::make_shared<ShardTopology>(*topo);
+    next->shard_of.push_back(0);
+    ++next->epoch;
+    PublishTopology(std::move(next));
+    return id;
+  }
+
+  // Every shard keeps the full node id space, so the node is added to
+  // ALL shards (the ids must come back aligned); the topology then
+  // assigns ownership to the least-loaded shard.
+  const NodeId expected = static_cast<NodeId>(topo->shard_of.size());
+  wire::MutateRequest req;
+  req.op = wire::MutateOp::kAddNode;
+  for (auto& shard : shards_) {
+    const wire::MutateReply reply = shard->Mutate(req);
+    SARGUS_RETURN_IF_ERROR(wire::UnpackStatus(reply.status_code, reply.error));
+    if (reply.new_node != expected) {
+      return Status::Internal(
+          "AddNode: shard node ids diverged (got " +
+          std::to_string(reply.new_node) + ", expected " +
+          std::to_string(expected) + ")");
+    }
+  }
+  uint32_t target = 0;
+  for (uint32_t s = 1; s < loads_.size(); ++s) {
+    if (loads_[s] < loads_[target]) target = s;
+  }
+  ++loads_[target];
+  auto next = std::make_shared<ShardTopology>(*topo);
+  next->shard_of.push_back(target);
+  ++next->epoch;
+  PublishTopology(std::move(next));
+  return expected;
+}
+
+Status ShardRouter::RefreshSummaries() {
+  if (!options_.build_summaries || shards_.size() <= 1) return OkStatus();
+  const auto topo = topology();
+  for (auto& shard : shards_) {
+    SARGUS_RETURN_IF_ERROR(shard->RefreshSummary(*topo, options_.summary));
+  }
+  return OkStatus();
+}
+
+Status ShardRouter::CompactAll() {
+  if (!built_) {
+    return Status::FailedPrecondition("ShardRouter: Build() not called");
+  }
+  for (auto& shard : shards_) {
+    SARGUS_RETURN_IF_ERROR(shard->engine().Compact());
+    shard->engine().WaitForCompaction();
+  }
+  return RefreshSummaries();
+}
+
+}  // namespace sargus

@@ -1,0 +1,223 @@
+#ifndef SARGUS_SHARD_ROUTER_H_
+#define SARGUS_SHARD_ROUTER_H_
+
+/// \file router.h
+/// \brief ShardRouter: the sharded serving tier's front door.
+///
+/// Build() partitions the master graph (shard/partitioner.h), extracts
+/// one shard-local graph per shard (graph/subgraph.h), stands up one
+/// ShardEngine per shard, and publishes the initial ShardTopology. From
+/// then on the router exposes the same CheckAccess / CheckAccessBatch /
+/// AddEdge / RemoveEdge / AddNode surface as a single
+/// AccessControlEngine — decisions agree exactly with a single engine
+/// over the unpartitioned graph — while all real work happens inside
+/// the shards, reached only through the wire messages of shard/wire.h.
+///
+/// Decision procedure for a cross-shard check (see PathReaches):
+///
+///   1. *Local phase*: ask the resource owner's shard directly. A grant
+///      is authoritative (shard-local edges are a subset of global
+///      edges); a deny is authoritative only if the phase-one walk's
+///      export set is empty (no configuration escaped the shard).
+///   2. *Summary composition*: compose the shards' boundary summaries
+///      (shard/boundary_summary.h) with the cut-edge table into a
+///      router-local fixpoint over boundary configurations — no shard
+///      traffic at all. Exact when every consulted summary is fresh;
+///      any stale summary aborts to step 3.
+///   3. *Frontier exchange fallback*: two-phase rounds shipping
+///      (node, state, residual-hops) frontiers to the owning shards
+///      until acceptance or a global fixpoint. Always available, always
+///      exact; the summaries only exist to avoid it.
+///
+/// Mutations route to the owning shard — both owners for a cut edge —
+/// preserving each engine's single-writer contract, and republish a
+/// copy-on-write topology when the cut set or node count changes. The
+/// router's write path must itself be externally serialized (one writer
+/// at a time), mirroring the engine contract; reads are concurrent.
+///
+/// With N = 1 the router is a zero-copy passthrough: one ShardEngine
+/// wraps the caller's graph and store in place, and CheckAccess simply
+/// forwards (decisions carry the engine's own stamps, byte-identical to
+/// going through the engine directly).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/access_engine.h"
+#include "shard/boundary_summary.h"
+#include "shard/partitioner.h"
+#include "shard/shard_engine.h"
+#include "shard/topology.h"
+#include "shard/wire.h"
+
+namespace sargus {
+
+struct RouterOptions {
+  PartitionOptions partition;
+  EngineOptions engine;
+  BoundarySummaryOptions summary;
+  /// Build boundary summaries at Build()/RefreshSummaries() and consult
+  /// them before falling back to frontier exchange. Off = every
+  /// cross-shard path goes straight to the fallback (the forced-
+  /// fallback tests and the bench's no-summary series use this).
+  bool build_summaries = true;
+  /// Summary-composition work cap (reachability tests per path); an
+  /// exceeding composition falls back to frontier exchange.
+  size_t max_composition_tests = size_t{1} << 20;
+};
+
+/// Monotonic router-level counters (relaxed atomics; read with
+/// counters()). The bench derives its summary-hit-rate from these.
+struct RouterCounters {
+  uint64_t checks = 0;
+  /// Checks that needed the cross-shard machinery (not answered by an
+  /// owner grant or an owner-shard local grant).
+  uint64_t cross_shard_checks = 0;
+  /// Checks answered by the owner shard's local engine (grant).
+  uint64_t local_conclusive = 0;
+  /// Cross-shard checks concluded without any frontier exchange
+  /// (phase-one conclusive or summary composition).
+  uint64_t summary_resolved = 0;
+  /// Frontier-exchange walks run (per path evaluation).
+  uint64_t fallback_walks = 0;
+  /// Cross-shard checks that needed at least one frontier exchange.
+  uint64_t cross_fallback_walks = 0;
+  /// Total frontier-exchange rounds across all fallback walks.
+  uint64_t fallback_rounds = 0;
+  /// Fallbacks caused by a stale/missing/unbuilt summary.
+  uint64_t stale_summary_fallbacks = 0;
+  /// Fallbacks caused by the composition work cap.
+  uint64_t capped_compositions = 0;
+};
+
+class ShardRouter {
+ public:
+  /// `graph` and `store` must outlive the router. For num_shards == 1
+  /// the router serves `graph` in place; otherwise it owns per-shard
+  /// copies and `graph` becomes the frozen master (the router never
+  /// mutates it beyond label interning in AddEdge-by-name).
+  ShardRouter(SocialGraph& graph, const PolicyStore& store,
+              RouterOptions options = {});
+
+  /// Partitions, extracts, builds every shard engine, publishes the
+  /// initial topology, and (when configured) builds boundary summaries.
+  Status Build();
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  const GraphPartition& partition() const { return partition_; }
+  ShardEngine& shard(uint32_t id) { return *shards_[id]; }
+  const ShardEngine& shard(uint32_t id) const { return *shards_[id]; }
+  std::shared_ptr<const ShardTopology> topology() const;
+
+  // ---- Read path (thread-safe; concurrent with one writer) ----------------
+
+  Result<AccessDecision> CheckAccess(const AccessRequest& request) const;
+
+  /// Positional batch. Requests are grouped by resource-owner shard and
+  /// decided with one shard-local batch per group; only slots a
+  /// shard-local batch cannot settle authoritatively (non-grants on a
+  /// multi-shard topology) escalate to the per-request cross-shard
+  /// procedure.
+  std::vector<Result<AccessDecision>> CheckAccessBatch(
+      std::span<const AccessRequest> requests) const;
+
+  /// Sum of the per-shard view stamps: changes whenever any shard's
+  /// published state changes, so it orders router-level decisions the
+  /// way a single engine's (generation, version) pair does.
+  wire::Stamp Stamp() const;
+
+  RouterCounters counters() const;
+
+  // ---- Write path (externally serialized, like the engine's) --------------
+
+  Status AddEdge(NodeId src, NodeId dst, const std::string& label);
+  Status AddEdge(NodeId src, NodeId dst, LabelId label);
+  Status RemoveEdge(NodeId src, NodeId dst, const std::string& label);
+  Status RemoveEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Adds one node to every shard (ids stay aligned across shards) and
+  /// assigns it to the least-loaded shard in a republished topology.
+  Result<NodeId> AddNode();
+
+  /// Rebuilds every shard's boundary summary against its current view.
+  /// No-op when summaries are disabled or N == 1.
+  Status RefreshSummaries();
+
+  /// Compacts every shard (waiting each out), then refreshes summaries.
+  Status CompactAll();
+
+ private:
+  struct RouterResource {
+    NodeId owner = 0;
+    std::vector<RuleId> rules;
+  };
+  struct RouterPath {
+    Status bind_status = OkStatus();
+    std::shared_ptr<const BoundPathExpression> bound;
+  };
+  /// Per-evaluation bookkeeping threaded through the cross-shard path.
+  struct CrossStats {
+    uint64_t pairs_visited = 0;
+    bool used_summary = false;
+    bool used_fallback = false;
+  };
+
+  void PublishTopology(std::shared_ptr<const ShardTopology> topo);
+
+  /// Full multi-shard decision procedure (file comment, steps 1-3).
+  Result<AccessDecision> DecideMulti(const AccessRequest& request) const;
+
+  /// Does a path from `owner` to `requester` matching (rule, path)
+  /// exist in the global graph? Exact.
+  Result<bool> PathReaches(const ShardTopology& topo, RuleId rule,
+                           uint32_t path, NodeId owner, NodeId requester,
+                           CrossStats& stats) const;
+
+  /// Step 3: two-phase frontier-exchange rounds from `seeds`.
+  Result<bool> FallbackWalk(const ShardTopology& topo, RuleId rule,
+                            uint32_t path, NodeId owner, NodeId requester,
+                            std::span<const wire::FrontierEntry> seeds,
+                            CrossStats& stats) const;
+
+  SocialGraph* master_graph_;
+  const PolicyStore* master_store_;
+  RouterOptions options_;
+
+  GraphPartition partition_;
+  std::vector<std::unique_ptr<ShardEngine>> shards_;
+  /// Owner + rule mirror of the master store (resource-id indexed).
+  std::vector<RouterResource> resources_;
+  /// Router-side binds against the master dictionaries (rule-id
+  /// indexed; ids identical in every shard).
+  std::vector<std::vector<RouterPath>> paths_;
+  bool built_ = false;
+
+  mutable std::mutex topo_mu_;
+  std::shared_ptr<const ShardTopology> topo_;
+
+  /// Writer-side per-shard node loads, for AddNode placement.
+  std::vector<size_t> loads_;
+
+  struct AtomicCounters {
+    std::atomic<uint64_t> checks{0};
+    std::atomic<uint64_t> cross_shard_checks{0};
+    std::atomic<uint64_t> local_conclusive{0};
+    std::atomic<uint64_t> summary_resolved{0};
+    std::atomic<uint64_t> fallback_walks{0};
+    std::atomic<uint64_t> cross_fallback_walks{0};
+    std::atomic<uint64_t> fallback_rounds{0};
+    std::atomic<uint64_t> stale_summary_fallbacks{0};
+    std::atomic<uint64_t> capped_compositions{0};
+  };
+  mutable AtomicCounters counters_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_SHARD_ROUTER_H_

@@ -1,0 +1,130 @@
+#ifndef SARGUS_SHARD_SHARD_ENGINE_H_
+#define SARGUS_SHARD_SHARD_ENGINE_H_
+
+/// \file shard_engine.h
+/// \brief One shard of the sharded serving tier: an AccessControlEngine
+/// over the shard's induced subgraph (plus its side of every cut edge),
+/// spoken to exclusively through the wire messages of shard/wire.h.
+///
+/// A ShardEngine is the unit that would become a server process in a
+/// distributed deployment. It answers:
+///
+///   * Check / CheckBatch — plain access decisions over the shard-local
+///     graph (authoritative when the resource's whole rule evaluation
+///     stays inside the shard; a building block otherwise);
+///   * ExpandFrontier — run a product-space walk seeded either at a
+///     resource owner (phase one) or at an imported frontier (phase two
+///     and fallback rounds), returning acceptance plus every
+///     configuration that escaped into nodes this shard does not own;
+///   * Mutate — the single-writer mutation entry point, delegating to
+///     the wrapped engine's staged write path;
+///   * RefreshSummary — (re)build the shard's boundary summary against
+///     its current read view.
+///
+/// Two construction modes: the multi-shard mode owns its extracted graph
+/// copy and a clone of the master policy store (identical resource/rule
+/// ids — see ClonePolicyStore); the single-shard mode wraps the caller's
+/// graph and store directly, making an N=1 router a true zero-copy
+/// passthrough over one ordinary engine.
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "engine/access_engine.h"
+#include "shard/boundary_summary.h"
+#include "shard/topology.h"
+#include "shard/wire.h"
+
+namespace sargus {
+
+/// Deep copy of `store` preserving every ResourceId and RuleId (replayed
+/// in id order through the public registration API; path expressions
+/// round-trip through their canonical text form). The sharded tier
+/// clones the master store per shard so rule ids in wire messages mean
+/// the same thing everywhere.
+Result<PolicyStore> ClonePolicyStore(const PolicyStore& store);
+
+// Wire <-> engine request/decision conversion, shared by the router and
+// the shard engines.
+wire::CheckRequest ToWire(const AccessRequest& request);
+AccessRequest FromWire(const wire::CheckRequest& request);
+wire::CheckReply ToWire(const Result<AccessDecision>& decision);
+/// Rebuilds the engine-shaped decision; `requester`/`resource` come from
+/// the request the reply answered (the wire reply does not repeat them).
+Result<AccessDecision> FromWire(const wire::CheckReply& reply,
+                                NodeId requester, ResourceId resource);
+
+class ShardEngine {
+ public:
+  /// Multi-shard mode: takes ownership of the extracted shard graph and
+  /// the cloned policy store.
+  ShardEngine(uint32_t id, std::unique_ptr<SocialGraph> graph,
+              std::unique_ptr<PolicyStore> store,
+              const EngineOptions& options);
+
+  /// Single-shard passthrough mode: serves `graph`/`store` in place.
+  /// Both must outlive the engine.
+  ShardEngine(uint32_t id, SocialGraph& graph, const PolicyStore& store,
+              const EngineOptions& options);
+
+  /// Builds the wrapped engine's indexes; required before any request.
+  Status Build() { return engine_.RebuildIndexes(); }
+
+  uint32_t id() const { return id_; }
+  AccessControlEngine& engine() { return engine_; }
+  const AccessControlEngine& engine() const { return engine_; }
+  const SocialGraph& graph() const { return *graph_; }
+
+  /// Interns `name` into the shard graph's label dictionary, returning
+  /// the id. The router pre-interns new labels into every shard (master
+  /// first) so ids stay aligned; see ShardRouter::AddEdge.
+  LabelId InternLabel(const std::string& name) {
+    return graph_->labels().Intern(name);
+  }
+
+  /// Publishes / pins the current shard map (copy-on-write; see
+  /// shard/topology.h).
+  void SetTopology(std::shared_ptr<const ShardTopology> topology);
+  std::shared_ptr<const ShardTopology> topology() const;
+
+  /// Stamps of the currently published read view (what replies carry).
+  wire::Stamp ViewStamp() const;
+
+  // ---- Wire request handlers (thread-safe reads, single-writer Mutate) ----
+
+  wire::CheckReply Check(const wire::CheckRequest& request) const;
+  wire::BatchCheckReply CheckBatch(const wire::BatchCheckRequest& request) const;
+  wire::WalkReply ExpandFrontier(const wire::WalkRequest& request) const;
+  wire::MutateReply Mutate(const wire::MutateRequest& request);
+
+  // ---- Boundary summary ---------------------------------------------------
+
+  /// Rebuilds this shard's boundary summary from its current read view
+  /// and `topology`'s boundary list, stamped with the view's stamps.
+  Status RefreshSummary(const ShardTopology& topology,
+                        const BoundarySummaryOptions& options);
+
+  /// The last built summary (null before the first RefreshSummary). The
+  /// router checks its stamp against ViewStamp() before trusting it.
+  std::shared_ptr<const BoundarySummary> summary() const;
+
+ private:
+  uint32_t id_;
+  std::unique_ptr<SocialGraph> owned_graph_;
+  std::unique_ptr<PolicyStore> owned_store_;
+  SocialGraph* graph_;
+  const PolicyStore* store_;
+  AccessControlEngine engine_;  // after the owned pieces: ctor order
+
+  mutable std::mutex topo_mu_;
+  std::shared_ptr<const ShardTopology> topology_;
+
+  mutable std::mutex summary_mu_;
+  std::shared_ptr<const BoundarySummary> summary_;
+};
+
+}  // namespace sargus
+
+#endif  // SARGUS_SHARD_SHARD_ENGINE_H_

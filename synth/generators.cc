@@ -1,6 +1,7 @@
 #include "synth/generators.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/rng.h"
 
@@ -150,6 +151,42 @@ Result<SocialGraph> GenerateWattsStrogatz(const WattsStrogatzSpec& spec) {
     }
   }
   return g;
+}
+
+ZipfSampler::ZipfSampler(uint64_t num_items, double theta, uint64_t seed)
+    : num_items_(num_items == 0 ? 1 : num_items),
+      // theta == 1 makes alpha blow up; 0.9999 is indistinguishable in
+      // practice and keeps every quantity finite.
+      theta_(std::clamp(theta, 0.0, 0.9999)),
+      rng_(seed) {
+  zetan_ = 0.0;
+  double zeta2 = 0.0;
+  for (uint64_t i = 1; i <= num_items_; ++i) {
+    const double term = 1.0 / std::pow(static_cast<double>(i), theta_);
+    zetan_ += term;
+    if (i == 2) zeta2 = zetan_;
+  }
+  if (num_items_ == 1) zeta2 = zetan_;
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double n = static_cast<double>(num_items_);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+  if (!std::isfinite(eta_)) eta_ = 1.0;  // num_items_ <= 2 or theta == 0
+}
+
+uint64_t ZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double n = static_cast<double>(num_items_);
+  const uint64_t rank = static_cast<uint64_t>(
+      n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= num_items_ ? num_items_ - 1 : rank;
+}
+
+double ZipfSampler::Probability(uint64_t rank) const {
+  if (rank >= num_items_) return 0.0;
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
 }
 
 }  // namespace sargus

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "graph/social_graph.h"
 
 namespace sargus {
@@ -53,6 +54,38 @@ struct WattsStrogatzSpec {
 Result<SocialGraph> GenerateErdosRenyi(const ErdosRenyiSpec& spec);
 Result<SocialGraph> GenerateBarabasiAlbert(const BarabasiAlbertSpec& spec);
 Result<SocialGraph> GenerateWattsStrogatz(const WattsStrogatzSpec& spec);
+
+/// Zipf-skewed rank sampler (YCSB/Gray inverse-CDF construction): rank 0
+/// is the most popular item and P(rank r) ∝ 1/(r+1)^theta. theta = 0 is
+/// uniform; real request skews are usually around 0.6-0.99. The bench's
+/// sharded-serving workloads draw requesters and resources through this
+/// so a handful of hot owners dominate, the way social traffic does.
+///
+/// Deterministic in (num_items, theta, seed); O(num_items) setup (one
+/// harmonic sum), O(1) per draw.
+class ZipfSampler {
+ public:
+  /// `num_items` must be > 0; theta is clamped to [0, 0.9999] (the
+  /// inverse-CDF construction needs theta < 1).
+  ZipfSampler(uint64_t num_items, double theta, uint64_t seed);
+
+  /// Next rank in [0, num_items).
+  uint64_t Next();
+
+  /// Exact probability mass of `rank` under the fitted distribution.
+  double Probability(uint64_t rank) const;
+
+  uint64_t num_items() const { return num_items_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t num_items_;
+  double theta_;
+  double zetan_;  // generalized harmonic number H_{n,theta}
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
 
 }  // namespace sargus
 

@@ -138,5 +138,65 @@ TEST(Generators, CustomLabelAlphabet) {
   }
 }
 
+TEST(ZipfSampler, PinsSkewToTheFittedDistribution) {
+  // 200k draws over 1000 ranks at theta = 0.8: the empirical frequency
+  // of the hottest ranks must sit within 10% (relative) of the exact
+  // probability mass the sampler itself reports.
+  const uint64_t kItems = 1000;
+  const uint64_t kDraws = 200000;
+  ZipfSampler zipf(kItems, 0.8, 1234);
+  std::vector<uint64_t> hits(kItems, 0);
+  for (uint64_t i = 0; i < kDraws; ++i) ++hits[zipf.Next()];
+
+  // Ranks 0 and 1 are produced by exact CDF thresholds, so they pin the
+  // skew tightly; deeper ranks come from the approximate inverse CDF
+  // and only get a coarse bound.
+  for (uint64_t rank : {uint64_t{0}, uint64_t{1}}) {
+    const double expected = zipf.Probability(rank) * kDraws;
+    EXPECT_NEAR(hits[rank], expected, 0.10 * expected) << "rank " << rank;
+  }
+  const double expected2 = zipf.Probability(2) * kDraws;
+  EXPECT_NEAR(hits[2], expected2, 0.30 * expected2);
+  // The head dominates: rank 0 beats any deep-tail rank by an order of
+  // magnitude, which a uniform sampler (theta = 0) would never show.
+  EXPECT_GT(hits[0], 20 * hits[500] + 1);
+  // Probabilities are monotone in rank and sum to ~1.
+  double total = 0.0;
+  for (uint64_t r = 0; r < kItems; ++r) {
+    total += zipf.Probability(r);
+    if (r > 0) EXPECT_LE(zipf.Probability(r), zipf.Probability(r - 1));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform) {
+  const uint64_t kItems = 50;
+  ZipfSampler uniform(kItems, 0.0, 7);
+  std::vector<uint64_t> hits(kItems, 0);
+  const uint64_t kDraws = 100000;
+  for (uint64_t i = 0; i < kDraws; ++i) ++hits[uniform.Next()];
+  const double expected = static_cast<double>(kDraws) / kItems;
+  for (uint64_t r = 0; r < kItems; ++r) {
+    EXPECT_NEAR(hits[r], expected, 0.25 * expected) << "rank " << r;
+    EXPECT_NEAR(uniform.Probability(r), 1.0 / kItems, 1e-12);
+  }
+}
+
+TEST(ZipfSampler, DeterministicInSeed) {
+  ZipfSampler a(100, 0.9, 42);
+  ZipfSampler b(100, 0.9, 42);
+  ZipfSampler c(100, 0.9, 43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = a.Next();
+    EXPECT_EQ(x, b.Next());
+    if (x != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+  // Every draw stays in range even at the degenerate sizes.
+  ZipfSampler one(1, 0.99, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.Next(), 0u);
+}
+
 }  // namespace
 }  // namespace sargus

@@ -1,0 +1,586 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/access_engine.h"
+#include "shard/partitioner.h"
+#include "shard/router.h"
+#include "shard/wire.h"
+#include "synth/generators.h"
+#include "tests/test_util.h"
+
+namespace sargus {
+namespace {
+
+using testing_util::MakeDiamond;
+
+// ---- Partitioner ----------------------------------------------------------
+
+TEST(Partitioner, ContiguousRangesCoverEveryNode) {
+  ErdosRenyiSpec spec;
+  spec.base.num_nodes = 10;
+  auto g = GenerateErdosRenyi(spec);
+  ASSERT_TRUE(g.ok());
+  PartitionOptions opts;
+  opts.num_shards = 3;
+  opts.strategy = PartitionStrategy::kContiguous;
+  auto part = GraphPartitioner::Partition(*g, opts);
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->shard_of.size(), 10u);
+  // Contiguous: shard ids are non-decreasing in node order.
+  for (size_t v = 1; v < part->shard_of.size(); ++v) {
+    EXPECT_LE(part->shard_of[v - 1], part->shard_of[v]);
+  }
+  size_t covered = 0;
+  for (const auto& members : part->members) covered += members.size();
+  EXPECT_EQ(covered, 10u);
+  // Every reported cut edge genuinely crosses shards.
+  for (const Edge& e : part->cut_edges) {
+    EXPECT_NE(part->shard_of[e.src], part->shard_of[e.dst]);
+  }
+}
+
+TEST(Partitioner, CommunityIsDeterministic) {
+  BarabasiAlbertSpec spec;
+  spec.base.num_nodes = 64;
+  auto g = GenerateBarabasiAlbert(spec);
+  ASSERT_TRUE(g.ok());
+  PartitionOptions opts;
+  opts.num_shards = 4;
+  opts.strategy = PartitionStrategy::kCommunity;
+  auto a = GraphPartitioner::Partition(*g, opts);
+  auto b = GraphPartitioner::Partition(*g, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->shard_of, b->shard_of);
+  size_t covered = 0;
+  for (const auto& members : a->members) covered += members.size();
+  EXPECT_EQ(covered, 64u);
+  for (const Edge& e : a->cut_edges) {
+    EXPECT_NE(a->shard_of[e.src], a->shard_of[e.dst]);
+  }
+}
+
+TEST(Partitioner, ZeroShardsRejected) {
+  SocialGraph g = MakeDiamond();
+  PartitionOptions opts;
+  opts.num_shards = 0;
+  EXPECT_EQ(GraphPartitioner::Partition(g, opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- Wire round trips -----------------------------------------------------
+
+TEST(Wire, CheckRoundTrip) {
+  wire::CheckRequest req;
+  req.requester = 7;
+  req.resource = 3;
+  req.want_witness = 1;
+  req.has_evaluator_override = 1;
+  req.evaluator_override = 2;
+  auto decoded = wire::DecodeCheckRequest(wire::Encode(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, req);
+
+  wire::CheckReply rep;
+  rep.granted = 1;
+  rep.has_matched_rule = 1;
+  rep.matched_rule = 5;
+  rep.pairs_visited = 123456;
+  rep.stamp = {9, 42};
+  rep.witness = {1, 2, 3};
+  auto decoded_rep = wire::DecodeCheckReply(wire::Encode(rep));
+  ASSERT_TRUE(decoded_rep.ok());
+  EXPECT_EQ(*decoded_rep, rep);
+
+  wire::CheckReply err;
+  err.status_code = wire::PackStatus(Status::NotFound("nope"));
+  err.error = "nope";
+  auto decoded_err = wire::DecodeCheckReply(wire::Encode(err));
+  ASSERT_TRUE(decoded_err.ok());
+  EXPECT_EQ(*decoded_err, err);
+}
+
+TEST(Wire, BatchRoundTrip) {
+  wire::BatchCheckRequest req;
+  req.requests.push_back({.requester = 1, .resource = 0});
+  req.requests.push_back({.requester = 2, .resource = 9, .want_witness = 1});
+  auto decoded = wire::DecodeBatchCheckRequest(wire::Encode(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, req);
+
+  wire::BatchCheckReply rep;  // empty vector round-trips too
+  auto decoded_rep = wire::DecodeBatchCheckReply(wire::Encode(rep));
+  ASSERT_TRUE(decoded_rep.ok());
+  EXPECT_EQ(*decoded_rep, rep);
+}
+
+TEST(Wire, WalkRoundTrip) {
+  wire::WalkRequest req;
+  req.rule = 4;
+  req.path = 1;
+  req.requester = 11;
+  req.seed = wire::WalkSeed::kFrontier;
+  req.owner = 6;
+  req.frontier = {{10, 2, 3}, {20, 0, 5}};
+  auto decoded = wire::DecodeWalkRequest(wire::Encode(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, req);
+
+  wire::WalkReply rep;
+  rep.accepted = 1;
+  rep.exports = {{3, 1, 2}};
+  rep.pairs_visited = 77;
+  rep.stamp = {1, 2};
+  auto decoded_rep = wire::DecodeWalkReply(wire::Encode(rep));
+  ASSERT_TRUE(decoded_rep.ok());
+  EXPECT_EQ(*decoded_rep, rep);
+}
+
+TEST(Wire, MutateRoundTrip) {
+  wire::MutateRequest req;
+  req.op = wire::MutateOp::kRemoveEdge;
+  req.src = 5;
+  req.dst = 6;
+  req.label = kInvalidLabel;
+  req.label_name = "friend";
+  auto decoded = wire::DecodeMutateRequest(wire::Encode(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, req);
+
+  wire::MutateReply rep;
+  rep.new_node = 99;
+  rep.stamp = {3, 4};
+  auto decoded_rep = wire::DecodeMutateReply(wire::Encode(rep));
+  ASSERT_TRUE(decoded_rep.ok());
+  EXPECT_EQ(*decoded_rep, rep);
+}
+
+TEST(Wire, RejectsCorruptFrames) {
+  std::vector<uint8_t> bytes = wire::Encode(wire::CheckRequest{});
+  // Bad magic.
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(wire::DecodeCheckRequest(bad_magic).status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown version.
+  auto bad_version = bytes;
+  bad_version[4] = 0xEE;
+  EXPECT_EQ(wire::DecodeCheckRequest(bad_version).status().code(),
+            StatusCode::kInvalidArgument);
+  // Wrong message type for the decoder.
+  EXPECT_FALSE(wire::DecodeWalkRequest(bytes).ok());
+  // Truncation at every prefix length must error, never crash.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        wire::DecodeCheckRequest(std::span(bytes.data(), len)).ok());
+  }
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(wire::DecodeCheckRequest(padded).ok());
+}
+
+// ---- Router: single-shard passthrough -------------------------------------
+
+TEST(ShardRouter, SingleShardPassthroughStamps) {
+  SocialGraph g = MakeDiamond();
+  PolicyStore store;
+  const ResourceId photo = store.RegisterResource(0, "photo");
+  ASSERT_TRUE(store.AddRuleFromPaths(photo, {"friend[1,2]/colleague[1]"}).ok());
+
+  ShardRouter router(g, store);
+  ASSERT_TRUE(router.Build().ok());
+  ASSERT_EQ(router.num_shards(), 1u);
+
+  // The passthrough serves the SAME engine the shard wraps: decisions
+  // carry that engine's own view stamps, byte-identical to calling it
+  // directly — no router-level stamp rewriting.
+  const AccessRequest req{.requester = 3, .resource = photo};
+  auto direct = router.shard(0).engine().CheckAccess(req);
+  auto routed = router.CheckAccess(req);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(routed.ok());
+  EXPECT_TRUE(routed->granted);
+  EXPECT_EQ(routed->granted, direct->granted);
+  EXPECT_EQ(routed->snapshot_generation, direct->snapshot_generation);
+  EXPECT_EQ(routed->overlay_version, direct->overlay_version);
+  EXPECT_EQ(routed->evaluator_name, direct->evaluator_name);
+
+  const std::vector<AccessRequest> batch{req, {.requester = 2,
+                                               .resource = photo}};
+  auto direct_batch = router.shard(0).engine().CheckAccessBatch(batch);
+  auto routed_batch = router.CheckAccessBatch(batch);
+  ASSERT_EQ(routed_batch.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(routed_batch[i].ok());
+    ASSERT_TRUE(direct_batch[i].ok());
+    EXPECT_EQ(routed_batch[i]->granted, direct_batch[i]->granted);
+    EXPECT_EQ(routed_batch[i]->snapshot_generation,
+              direct_batch[i]->snapshot_generation);
+    EXPECT_EQ(routed_batch[i]->overlay_version,
+              direct_batch[i]->overlay_version);
+  }
+
+  // Mutations pass straight through too.
+  ASSERT_TRUE(router.AddEdge(3, 0, "friend").ok());
+  auto now_granted = router.CheckAccess({.requester = 3, .resource = photo});
+  ASSERT_TRUE(now_granted.ok());
+  EXPECT_TRUE(now_granted->granted);
+  auto added = router.AddNode();
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 6u);
+  EXPECT_EQ(router.topology()->shard_of.size(), 7u);
+}
+
+// ---- Router: oracle agreement ---------------------------------------------
+
+struct Workload {
+  SocialGraph graph;
+  PolicyStore store;
+  std::vector<ResourceId> resources;
+};
+
+Workload MakeWorkload(SocialGraph g) {
+  Workload w;
+  w.graph = std::move(g);
+  const size_t n = w.graph.NumNodes();
+  const std::vector<std::vector<std::string>> rule_sets = {
+      {"friend[1,3]"},
+      {"friend[1,2]/colleague[1,2]"},
+      {"colleague-[1,2]"},
+      {"friend[1,2]{age>=18}"},
+      {"family[1,4]"},
+  };
+  for (size_t i = 0; i < 10; ++i) {
+    const NodeId owner = static_cast<NodeId>((i * 37 + 11) % n);
+    const ResourceId r =
+        w.store.RegisterResource(owner, "res" + std::to_string(i));
+    EXPECT_TRUE(
+        w.store.AddRuleFromPaths(r, rule_sets[i % rule_sets.size()]).ok());
+    if (i % 3 == 0) {
+      EXPECT_TRUE(w.store.AddRuleFromPaths(r, {"colleague[1,2]"}).ok());
+    }
+    w.resources.push_back(r);
+  }
+  return w;
+}
+
+void ExpectAgrees(const Result<AccessDecision>& got,
+                  const Result<AccessDecision>& want,
+                  const std::string& context) {
+  ASSERT_EQ(got.ok(), want.ok())
+      << context << " got=" << got.status().ToString()
+      << " want=" << want.status().ToString();
+  if (!got.ok()) {
+    EXPECT_EQ(got.status().code(), want.status().code()) << context;
+    return;
+  }
+  EXPECT_EQ(got->granted, want->granted) << context;
+  EXPECT_EQ(got->owner_access, want->owner_access) << context;
+}
+
+void RunOracleComparison(Result<SocialGraph> generated,
+                         PartitionStrategy strategy, uint32_t num_shards,
+                         const std::string& tag) {
+  ASSERT_TRUE(generated.ok());
+  Workload w = MakeWorkload(std::move(*generated));
+  SocialGraph oracle_graph = w.graph;  // copy before the router partitions
+
+  RouterOptions opts;
+  opts.partition.num_shards = num_shards;
+  opts.partition.strategy = strategy;
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok()) << tag;
+  AccessControlEngine oracle(oracle_graph, w.store);
+  ASSERT_TRUE(oracle.RebuildIndexes().ok());
+
+  const size_t n = oracle_graph.NumNodes();
+  Rng rng(0xC0FFEE ^ num_shards);
+  auto compare_random = [&](int rounds, const std::string& phase) {
+    for (int i = 0; i < rounds; ++i) {
+      AccessRequest req;
+      req.requester = static_cast<NodeId>(rng.NextBounded(n));
+      req.resource = w.resources[rng.NextBounded(w.resources.size())];
+      ExpectAgrees(router.CheckAccess(req), oracle.CheckAccess(req),
+                   tag + "/" + phase + " requester=" +
+                       std::to_string(req.requester) +
+                       " resource=" + std::to_string(req.resource));
+    }
+  };
+  compare_random(120, "initial");
+
+  // Batch path agrees element-wise with the oracle too.
+  std::vector<AccessRequest> batch;
+  for (int i = 0; i < 40; ++i) {
+    batch.push_back({.requester = static_cast<NodeId>(rng.NextBounded(n)),
+                     .resource =
+                         w.resources[rng.NextBounded(w.resources.size())]});
+  }
+  const auto routed = router.CheckAccessBatch(batch);
+  const auto expected = oracle.CheckAccessBatch(batch);
+  ASSERT_EQ(routed.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectAgrees(routed[i], expected[i], tag + "/batch slot " +
+                                             std::to_string(i));
+  }
+
+  // Mid-sequence mutations, preferring edges that cross shard cuts;
+  // mirror every mutation into the oracle.
+  const auto topo = router.topology();
+  std::vector<std::pair<NodeId, NodeId>> added;
+  for (int t = 0; t < 400 && added.size() < 8; ++t) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+    if (a == b) continue;
+    if (num_shards > 1 && topo->shard_of[a] == topo->shard_of[b]) continue;
+    ASSERT_TRUE(router.AddEdge(a, b, "friend").ok()) << tag;
+    ASSERT_TRUE(oracle.AddEdge(a, b, "friend").ok());
+    added.push_back({a, b});
+  }
+  EXPECT_FALSE(added.empty()) << tag;
+  compare_random(80, "after-add");
+
+  // Remove half of them again (cut shrinks back).
+  for (size_t i = 0; i < added.size(); i += 2) {
+    ASSERT_TRUE(router.RemoveEdge(added[i].first, added[i].second, "friend")
+                    .ok())
+        << tag;
+    ASSERT_TRUE(
+        oracle.RemoveEdge(added[i].first, added[i].second, "friend").ok());
+  }
+  compare_random(80, "after-remove");
+
+  // Fresh summaries must not change any answer.
+  ASSERT_TRUE(router.RefreshSummaries().ok()) << tag;
+  compare_random(80, "after-refresh");
+}
+
+Result<SocialGraph> SmallEr(uint64_t seed) {
+  ErdosRenyiSpec spec;
+  spec.base.num_nodes = 60;
+  spec.base.seed = seed;
+  spec.avg_out_degree = 3.0;
+  return GenerateErdosRenyi(spec);
+}
+
+Result<SocialGraph> SmallBa(uint64_t seed) {
+  BarabasiAlbertSpec spec;
+  spec.base.num_nodes = 60;
+  spec.base.seed = seed;
+  spec.edges_per_node = 2;
+  return GenerateBarabasiAlbert(spec);
+}
+
+Result<SocialGraph> SmallWs(uint64_t seed) {
+  WattsStrogatzSpec spec;
+  spec.base.num_nodes = 48;
+  spec.base.seed = seed;
+  return GenerateWattsStrogatz(spec);
+}
+
+TEST(ShardRouterOracle, ErdosRenyiContiguous) {
+  for (uint32_t shards : {1u, 2u, 4u, 7u}) {
+    RunOracleComparison(SmallEr(shards), PartitionStrategy::kContiguous,
+                        shards, "er/contig/" + std::to_string(shards));
+  }
+}
+
+TEST(ShardRouterOracle, BarabasiAlbertContiguous) {
+  for (uint32_t shards : {2u, 4u, 7u}) {
+    RunOracleComparison(SmallBa(shards), PartitionStrategy::kContiguous,
+                        shards, "ba/contig/" + std::to_string(shards));
+  }
+}
+
+TEST(ShardRouterOracle, WattsStrogatzCommunity) {
+  for (uint32_t shards : {2u, 4u, 7u}) {
+    RunOracleComparison(SmallWs(shards), PartitionStrategy::kCommunity,
+                        shards, "ws/community/" + std::to_string(shards));
+  }
+}
+
+TEST(ShardRouterOracle, BarabasiAlbertCommunityNoSummaries) {
+  // Same agreement with summaries disabled: every cross-shard path goes
+  // through the frontier-exchange fallback.
+  auto g = SmallBa(99);
+  ASSERT_TRUE(g.ok());
+  Workload w = MakeWorkload(std::move(*g));
+  SocialGraph oracle_graph = w.graph;
+  RouterOptions opts;
+  opts.partition.num_shards = 4;
+  opts.partition.strategy = PartitionStrategy::kCommunity;
+  opts.build_summaries = false;
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+  AccessControlEngine oracle(oracle_graph, w.store);
+  ASSERT_TRUE(oracle.RebuildIndexes().ok());
+  Rng rng(5);
+  for (int i = 0; i < 150; ++i) {
+    AccessRequest req;
+    req.requester =
+        static_cast<NodeId>(rng.NextBounded(oracle_graph.NumNodes()));
+    req.resource = w.resources[rng.NextBounded(w.resources.size())];
+    ExpectAgrees(router.CheckAccess(req), oracle.CheckAccess(req),
+                 "nosummary slot " + std::to_string(i));
+  }
+  const RouterCounters c = router.counters();
+  // With summaries disabled, any path evaluation that outlives phase
+  // one must have gone through frontier exchange (never a stale-summary
+  // detour, because there are no summaries to find stale).
+  EXPECT_GT(c.fallback_walks, 0u);
+  EXPECT_EQ(c.stale_summary_fallbacks, 0u);
+}
+
+// ---- Router: forced fallback + counters -----------------------------------
+
+TEST(ShardRouter, StaleSummaryFallsBackThenRecovers) {
+  // Two contiguous shards over 8 nodes: 0-3 on shard 0, 4-7 on shard 1.
+  // Chain 0 -f-> 4 -f-> 5 -f-> 1 needs three hops crossing the cut twice.
+  SocialGraph g;
+  g.AddNodes(8);
+  ASSERT_TRUE(g.AddEdge(0, 4, "friend").ok());
+  ASSERT_TRUE(g.AddEdge(4, 5, "friend").ok());
+  ASSERT_TRUE(g.AddEdge(5, 1, "friend").ok());
+  PolicyStore store;
+  const ResourceId res = store.RegisterResource(0, "res");
+  ASSERT_TRUE(store.AddRuleFromPaths(res, {"friend[1,3]"}).ok());
+
+  RouterOptions opts;
+  opts.partition.num_shards = 2;
+  opts.partition.strategy = PartitionStrategy::kContiguous;
+  ShardRouter router(g, store, opts);
+  ASSERT_TRUE(router.Build().ok());
+  ASSERT_EQ(router.topology()->shard_of[0], 0u);
+  ASSERT_EQ(router.topology()->shard_of[5], 1u);
+
+  // Fresh summaries: the cross-shard grant resolves without fallback.
+  auto granted = router.CheckAccess({.requester = 1, .resource = res});
+  ASSERT_TRUE(granted.ok());
+  EXPECT_TRUE(granted->granted);
+  RouterCounters c = router.counters();
+  EXPECT_EQ(c.fallback_walks, 0u);
+  EXPECT_GT(c.cross_shard_checks, 0u);
+
+  // An interior mutation on shard 1 (5 -> 6 stays inside the shard)
+  // dirties its summary stamp; the next cross-shard check must fall back
+  // to frontier exchange — and still answer correctly.
+  ASSERT_TRUE(router.AddEdge(5, 6, "friend").ok());
+  granted = router.CheckAccess({.requester = 1, .resource = res});
+  ASSERT_TRUE(granted.ok());
+  EXPECT_TRUE(granted->granted);
+  c = router.counters();
+  EXPECT_GT(c.fallback_walks, 0u);
+  EXPECT_GT(c.stale_summary_fallbacks, 0u);
+  const uint64_t fallbacks_before = c.fallback_walks;
+
+  // Rebuilt summaries: fallback count stops moving.
+  ASSERT_TRUE(router.RefreshSummaries().ok());
+  granted = router.CheckAccess({.requester = 1, .resource = res});
+  ASSERT_TRUE(granted.ok());
+  EXPECT_TRUE(granted->granted);
+  // Requester 6 is now reachable in two hops as well.
+  auto six = router.CheckAccess({.requester = 6, .resource = res});
+  ASSERT_TRUE(six.ok());
+  EXPECT_TRUE(six->granted);
+  // And node 3 never was.
+  auto three = router.CheckAccess({.requester = 3, .resource = res});
+  ASSERT_TRUE(three.ok());
+  EXPECT_FALSE(three->granted);
+  c = router.counters();
+  EXPECT_EQ(c.fallback_walks, fallbacks_before);
+  EXPECT_GT(c.summary_resolved, 0u);
+}
+
+TEST(ShardRouter, AddNodeKeepsShardsAligned) {
+  auto g = SmallEr(3);
+  ASSERT_TRUE(g.ok());
+  Workload w = MakeWorkload(std::move(*g));
+  RouterOptions opts;
+  opts.partition.num_shards = 3;
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  const size_t before = router.topology()->shard_of.size();
+  auto id = router.AddNode();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, before);
+  EXPECT_EQ(router.topology()->shard_of.size(), before + 1);
+  // The new node is reachable through the normal mutation + check path.
+  const ResourceId res = w.resources[0];
+  const NodeId owner = w.store.resource(res).owner;
+  ASSERT_TRUE(router.AddEdge(owner, *id, "friend").ok());
+  auto d = router.CheckAccess({.requester = *id, .resource = res});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->granted);
+}
+
+// ---- Router: concurrent readers + one writer (TSan target) ----------------
+
+TEST(ShardRouterConcurrency, ReadersRaceOneWriter) {
+  auto g = SmallBa(17);
+  ASSERT_TRUE(g.ok());
+  Workload w = MakeWorkload(std::move(*g));
+  RouterOptions opts;
+  opts.partition.num_shards = 4;
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  const size_t n = router.topology()->shard_of.size();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      std::vector<AccessRequest> batch;
+      while (!stop.load(std::memory_order_acquire)) {
+        AccessRequest req;
+        req.requester = static_cast<NodeId>(rng.NextBounded(n));
+        req.resource = w.resources[rng.NextBounded(w.resources.size())];
+        if (rng.NextBool(0.2)) {
+          batch.assign(3, req);
+          for (const auto& d : router.CheckAccessBatch(batch)) {
+            EXPECT_TRUE(d.ok() ||
+                        d.status().code() != StatusCode::kInternal);
+          }
+        } else {
+          auto d = router.CheckAccess(req);
+          EXPECT_TRUE(d.ok() || d.status().code() != StatusCode::kInternal);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  {
+    Rng rng(42);
+    for (int step = 0; step < 60; ++step) {
+      const NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+      const NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+      if (a == b) continue;
+      if (step % 3 == 2) {
+        (void)router.RemoveEdge(a, b, "friend");
+      } else {
+        (void)router.AddEdge(a, b, "friend");
+      }
+      if (step % 10 == 9) ASSERT_TRUE(router.RefreshSummaries().ok());
+    }
+  }
+  // Let the readers observe the final state for a moment.
+  while (reads.load(std::memory_order_relaxed) < 200) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(router.counters().checks, 0u);
+}
+
+}  // namespace
+}  // namespace sargus
