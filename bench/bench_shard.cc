@@ -16,15 +16,25 @@
 ///
 /// BM_ShardSummaryRefresh prices the summaries themselves: the full
 /// per-shard product-SCC + restricted 2-hop rebuild.
+///
+/// Robustness series (PR 7): BM_ShardDirectCall / BM_ShardTransportCall
+/// price the fault-free transport seam (the acceptance bar is the
+/// transport staying within ~5% of direct engine calls), and
+/// BM_ShardFaultInjection runs the full retry / breaker / degraded
+/// machinery under a seeded fault storm, reporting the robustness
+/// counters next to the latency.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "shard/router.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
 
 namespace sargus {
 namespace bench {
@@ -41,8 +51,9 @@ struct ShardedFixture {
   std::vector<ResourceId> resources;
 };
 
-std::unique_ptr<ShardedFixture> MakeFixture(uint32_t shards,
-                                            bool build_summaries) {
+std::unique_ptr<ShardedFixture> MakeFixture(
+    uint32_t shards, bool build_summaries,
+    FaultInjectionTransport** fault = nullptr) {
   auto f = std::make_unique<ShardedFixture>();
   f->graph = std::make_unique<SocialGraph>(
       MakeGraph(GraphKind::kBarabasiAlbert, kNodes, 3, /*seed=*/17));
@@ -70,6 +81,16 @@ std::unique_ptr<ShardedFixture> MakeFixture(uint32_t shards,
   // machinery (summaries, fallback) actually carry traffic here.
   opts.partition.strategy = PartitionStrategy::kContiguous;
   opts.build_summaries = build_summaries;
+  if (fault != nullptr) {
+    opts.transport_decorator =
+        [fault](std::unique_ptr<ShardTransport> inner)
+        -> std::unique_ptr<ShardTransport> {
+      auto t =
+          std::make_unique<FaultInjectionTransport>(std::move(inner), 0xFA17);
+      *fault = t.get();
+      return t;
+    };
+  }
   f->router = std::make_unique<ShardRouter>(*f->graph, *f->store, opts);
   if (!f->router->Build().ok()) return nullptr;
   return f;
@@ -90,6 +111,17 @@ void ReportCounters(benchmark::State& state, const RouterCounters& before,
   state.counters["summary_hit_rate"] =
       cross > 0 ? 1.0 - fallback_checks / cross : 1.0;
   state.counters["fallback_rounds_per_walk"] = walks > 0 ? rounds / walks : 0.0;
+  // Robustness counters (all zero on a fault-free transport).
+  state.counters["retries"] =
+      static_cast<double>(after.retries - before.retries);
+  state.counters["timeouts"] =
+      static_cast<double>(after.timeouts - before.timeouts);
+  state.counters["breaker_opens"] =
+      static_cast<double>(after.breaker_opens - before.breaker_opens);
+  state.counters["degraded_answers"] =
+      static_cast<double>(after.degraded_answers - before.degraded_answers);
+  state.counters["unavailable_errors"] =
+      static_cast<double>(after.unavailable_errors - before.unavailable_errors);
 }
 
 void BM_ShardCheckAccess(benchmark::State& state) {
@@ -189,6 +221,96 @@ void BM_ShardSummaryRefresh(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShardSummaryRefresh)->Arg(2)->Arg(8);
+
+/// Fault-free transport overhead pair. Both series drive the same
+/// single-shard engine with the same Zipf request stream; the only
+/// difference is whether the call goes straight into ShardEngine::Check
+/// or through the InProcessTransport seam (virtual dispatch + deadline
+/// bookkeeping, no framing). Acceptance bar for the seam:
+/// BM_ShardTransportCall stays within ~5% of BM_ShardDirectCall.
+void BM_ShardDirectCall(benchmark::State& state) {
+  auto f = MakeFixture(1, /*build_summaries=*/true);
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  ZipfSampler requesters(kNodes, kTheta, 7);
+  ZipfSampler targets(kResources, kTheta, 8);
+  for (auto _ : state) {
+    wire::CheckRequest req;
+    req.requester = static_cast<NodeId>(requesters.Next());
+    req.resource = f->resources[targets.Next()];
+    auto reply = f->router->shard(0).Check(req);
+    benchmark::DoNotOptimize(reply);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardDirectCall);
+
+void BM_ShardTransportCall(benchmark::State& state) {
+  auto f = MakeFixture(1, /*build_summaries=*/true);
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  InProcessTransport transport({&f->router->shard(0)});
+  const TransportCallOptions no_deadline;
+  ZipfSampler requesters(kNodes, kTheta, 7);
+  ZipfSampler targets(kResources, kTheta, 8);
+  for (auto _ : state) {
+    wire::CheckRequest req;
+    req.requester = static_cast<NodeId>(requesters.Next());
+    req.resource = f->resources[targets.Next()];
+    auto reply = transport.Check(0, req, no_deadline);
+    benchmark::DoNotOptimize(reply);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardTransportCall);
+
+/// The robust path under a seeded probabilistic fault storm: every
+/// shard's transport randomly delays, drops, errors, or corrupts.
+/// Latency here includes retries, backoff, and degraded composition
+/// (all sleeps and delays land on the decorator's virtual clock, so
+/// wall time measures real work, not waiting). The robustness counters
+/// from ReportCounters show what the storm cost; refused_share is the
+/// fraction of checks that ended in an explicit transport error rather
+/// than an exact answer.
+void BM_ShardFaultInjection(benchmark::State& state) {
+  FaultInjectionTransport* fault = nullptr;
+  auto f = MakeFixture(4, /*build_summaries=*/true, &fault);
+  if (f == nullptr || fault == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  ShardFaultProfile storm;
+  storm.delay_probability = 0.05;
+  storm.drop_probability = 0.02;
+  storm.error_probability = 0.01;
+  storm.corrupt_probability = 0.01;
+  storm.delay_min_ms = 1;
+  storm.delay_max_ms = 10;
+  for (uint32_t s = 0; s < 4; ++s) fault->SetProfile(s, storm);
+  ZipfSampler requesters(kNodes, kTheta, 7);
+  ZipfSampler targets(kResources, kTheta, 8);
+  const RouterCounters before = f->router->counters();
+  uint64_t refused = 0;
+  for (auto _ : state) {
+    AccessRequest req;
+    req.requester = static_cast<NodeId>(requesters.Next());
+    req.resource = f->resources[targets.Next()];
+    auto d = f->router->CheckAccess(req);
+    if (!d.ok()) ++refused;
+    benchmark::DoNotOptimize(d);
+  }
+  ReportCounters(state, before, f->router->counters());
+  state.counters["refused_share"] =
+      state.iterations() > 0
+          ? static_cast<double>(refused) / static_cast<double>(state.iterations())
+          : 0.0;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardFaultInjection);
 
 }  // namespace
 }  // namespace bench

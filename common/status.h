@@ -15,6 +15,10 @@
 ///                             (e.g. backward step without backward line graph)
 ///      - kResourceExhausted: a configured cap was hit (join tuple budget)
 ///      - kInternal:          invariant violation — always a sargus bug
+///      - kUnavailable:       a dependency (shard, transport) cannot be
+///                            reached right now; retrying later may succeed
+///      - kDeadlineExceeded:  the operation ran out of its time budget;
+///                            the work may or may not have happened
 
 #include <string>
 #include <string_view>
@@ -31,6 +35,8 @@ enum class StatusCode : int {
   kOutOfRange = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kUnavailable = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns the canonical name ("INVALID_ARGUMENT", ...) for a code.
@@ -64,6 +70,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

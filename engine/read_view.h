@@ -156,6 +156,12 @@ struct AccessDecision {
   /// stamps of the AccessReadView that served it.
   uint64_t snapshot_generation = 0;
   uint64_t overlay_version = 0;
+  /// Non-empty when the sharded tier answered this check in degraded
+  /// mode (an owner shard was unreachable and the decision was
+  /// concluded exactly from fresh boundary summaries — see
+  /// shard/router.h). The answer is still exact; this records that a
+  /// reduced path produced it. Always empty from a single engine.
+  std::string degraded_reason;
 };
 
 /// Which concrete evaluator a compiled path resolved to. Indexes the

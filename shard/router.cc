@@ -17,6 +17,19 @@ uint64_t ConfigKey(const wire::FrontierEntry& e) {
   return (static_cast<uint64_t>(e.node) << 32) | e.state;
 }
 
+/// splitmix64 finalizer: the deterministic hash behind backoff jitter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool IsTransportError(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
 /// Inserts `node` into a sorted-unique vector.
 void SortedInsert(std::vector<NodeId>& v, NodeId node) {
   const auto it = std::lower_bound(v.begin(), v.end(), node);
@@ -86,6 +99,24 @@ Status ShardRouter::Build() {
   for (auto& shard : shards_) {
     SARGUS_RETURN_IF_ERROR(shard->Build());
   }
+
+  // Stand up the data-plane transport (decorated when the caller
+  // installed a fault seam) and the per-shard circuit breaker.
+  std::vector<ShardEngine*> raw;
+  raw.reserve(shards_.size());
+  for (auto& shard : shards_) raw.push_back(shard.get());
+  std::unique_ptr<ShardTransport> base =
+      std::make_unique<InProcessTransport>(std::move(raw));
+  transport_ = options_.transport_decorator
+                   ? options_.transport_decorator(std::move(base))
+                   : std::move(base);
+  if (transport_ == nullptr) {
+    return Status::InvalidArgument(
+        "ShardRouter: transport_decorator returned null");
+  }
+  health_ = std::make_unique<ShardHealthTracker>(
+      partition_.num_shards, options_.robustness.breaker_failure_threshold,
+      options_.robustness.breaker_open_ms);
 
   resources_.clear();
   resources_.reserve(master_store_->NumResources());
@@ -170,7 +201,84 @@ RouterCounters ShardRouter::counters() const {
   c.fallback_rounds = counters_.fallback_rounds.load(kRelaxed);
   c.stale_summary_fallbacks = counters_.stale_summary_fallbacks.load(kRelaxed);
   c.capped_compositions = counters_.capped_compositions.load(kRelaxed);
+  c.retries = counters_.retries.load(kRelaxed);
+  c.timeouts = counters_.timeouts.load(kRelaxed);
+  c.breaker_opens = health_ == nullptr ? 0 : health_->opens();
+  c.degraded_answers = counters_.degraded_answers.load(kRelaxed);
+  c.unavailable_errors = counters_.unavailable_errors.load(kRelaxed);
   return c;
+}
+
+template <typename Reply, typename Fn>
+Result<Reply> ShardRouter::CallShard(uint32_t shard, Fn&& call) const {
+  const RouterRobustnessOptions& rb = options_.robustness;
+  const uint64_t start = transport_->NowMs();
+  const uint64_t budget_deadline =
+      rb.op_budget_ms == 0 ? 0 : start + rb.op_budget_ms;
+  const uint32_t attempts = std::max<uint32_t>(1, rb.max_attempts);
+  Status last = OkStatus();
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    const uint64_t now = transport_->NowMs();
+    if (budget_deadline != 0 && now > budget_deadline) {
+      counters_.timeouts.fetch_add(1, kRelaxed);
+      return Status::DeadlineExceeded(
+          "shard " + std::to_string(shard) + ": operation budget exhausted" +
+          (last.ok() ? "" : " (last attempt: " + last.ToString() + ")"));
+    }
+    if (!health_->AllowCall(shard, now)) {
+      return Status::Unavailable(
+          "shard " + std::to_string(shard) + ": circuit breaker open" +
+          (last.ok() ? "" : " (last attempt: " + last.ToString() + ")"));
+    }
+    if (attempt > 0) counters_.retries.fetch_add(1, kRelaxed);
+    TransportCallOptions opts;
+    if (rb.call_deadline_ms != 0) {
+      opts.deadline_ms = now + rb.call_deadline_ms;
+      if (budget_deadline != 0 && opts.deadline_ms > budget_deadline) {
+        opts.deadline_ms = budget_deadline;
+      }
+    } else {
+      opts.deadline_ms = budget_deadline;
+    }
+    Result<Reply> r = call(opts);
+    if (r.ok()) {
+      // The transport worked; an in-band reply status is an answer,
+      // not an infrastructure failure.
+      health_->RecordSuccess(shard);
+      return r;
+    }
+    health_->RecordFailure(shard, transport_->NowMs());
+    if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      counters_.timeouts.fetch_add(1, kRelaxed);
+    }
+    last = r.status();
+    if (attempt + 1 < attempts) {
+      uint64_t backoff = std::min<uint64_t>(
+          uint64_t{rb.backoff_base_ms} << attempt, rb.backoff_max_ms);
+      if (backoff > 0 && rb.backoff_jitter > 0) {
+        // Deterministic jitter: a hash of (seed, shard, attempt, call
+        // sequence) so two retry storms never lockstep, yet a seeded
+        // run replays exactly.
+        const uint64_t h =
+            Mix64(rb.jitter_seed ^ (uint64_t{shard} << 40) ^
+                  (uint64_t{attempt} << 32) ^ call_seq_.fetch_add(1, kRelaxed));
+        const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
+        backoff +=
+            static_cast<uint64_t>(static_cast<double>(backoff) *
+                                  rb.backoff_jitter * frac);
+      }
+      if (backoff > 0) transport_->SleepMs(static_cast<uint32_t>(backoff));
+    }
+  }
+  return last;
+}
+
+Result<wire::MutateReply> ShardRouter::CallMutate(
+    uint32_t shard, const wire::MutateRequest& req) {
+  return CallShard<wire::MutateReply>(
+      shard, [&](const TransportCallOptions& opts) {
+        return transport_->Mutate(shard, req, opts);
+      });
 }
 
 Result<AccessDecision> ShardRouter::CheckAccess(
@@ -179,14 +287,29 @@ Result<AccessDecision> ShardRouter::CheckAccess(
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
   counters_.checks.fetch_add(1, kRelaxed);
-  if (shards_.size() == 1) {
-    // Passthrough: the decision carries the engine's own stamps.
+  if (shards_.size() == 1 && !options_.transport_decorator) {
+    // Passthrough: the decision carries the engine's own stamps. A
+    // decorated (fault-injectable) transport disables the shortcut so
+    // single-shard configurations exercise the full robust path.
     return shards_[0]->engine().CheckAccess(request);
   }
   return DecideMulti(request);
 }
 
 Result<AccessDecision> ShardRouter::DecideMulti(
+    const AccessRequest& request) const {
+  Result<AccessDecision> d = DecideMultiImpl(request);
+  if (!d.ok()) {
+    if (IsTransportError(d.status())) {
+      counters_.unavailable_errors.fetch_add(1, kRelaxed);
+    }
+  } else if (!d->degraded_reason.empty()) {
+    counters_.degraded_answers.fetch_add(1, kRelaxed);
+  }
+  return d;
+}
+
+Result<AccessDecision> ShardRouter::DecideMultiImpl(
     const AccessRequest& request) const {
   const auto topo = topology();
   if (request.resource >= resources_.size()) {
@@ -217,7 +340,21 @@ Result<AccessDecision> ShardRouter::DecideMulti(
   // A grant is authoritative — local edges are a subset of global edges
   // — and carries the witness when one was requested.
   const uint32_t owner_shard = topo->shard_of[res.owner];
-  const wire::CheckReply local = shards_[owner_shard]->Check(ToWire(request));
+  const Result<wire::CheckReply> local_r = CallShard<wire::CheckReply>(
+      owner_shard, [&](const TransportCallOptions& opts) {
+        return transport_->Check(owner_shard, ToWire(request), opts);
+      });
+  if (!local_r.ok()) {
+    // The owner's shard is unreachable (retries and breaker already
+    // consulted). Degrade when allowed: conclude exactly from fresh
+    // boundary summaries, or fail explicitly — never guess.
+    if (options_.robustness.allow_degraded && shards_.size() > 1 &&
+        IsTransportError(local_r.status())) {
+      return DecideDegraded(*topo, request, res.owner, local_r.status());
+    }
+    return local_r.status();
+  }
+  const wire::CheckReply& local = *local_r;
   if (local.status_code == 0 && local.granted != 0) {
     counters_.local_conclusive.fetch_add(1, kRelaxed);
     Result<AccessDecision> d =
@@ -279,6 +416,90 @@ Result<AccessDecision> ShardRouter::DecideMulti(
   return d;
 }
 
+Result<AccessDecision> ShardRouter::DecideDegraded(
+    const ShardTopology& topo, const AccessRequest& request, NodeId owner,
+    const Status& owner_error) const {
+  const auto unavailable = [&](const std::string& why) {
+    return Status::Unavailable("ShardRouter: owner shard unreachable (" +
+                               owner_error.ToString() + ") and " + why);
+  };
+  if (!options_.build_summaries) {
+    return unavailable("boundary summaries are disabled");
+  }
+  counters_.cross_shard_checks.fetch_add(1, kRelaxed);
+  const RouterResource& res = resources_[request.resource];
+  CrossStats cross;
+  std::optional<Status> first_error;
+  std::optional<RuleId> matched;
+  for (const RuleId rule : res.rules) {
+    for (uint32_t p = 0; p < paths_[rule].size() && !matched; ++p) {
+      const RouterPath& rp = paths_[rule][p];
+      if (!rp.bind_status.ok()) {
+        if (!first_error.has_value()) first_error = rp.bind_status;
+        continue;
+      }
+      // Seed the composition at the owner's automaton start closure.
+      // The owner is a boundary vertex of the down shard whenever that
+      // shard participates in cross-shard paths for it; its FRESH
+      // summary (stamps cannot move while the shard is unreachable —
+      // mutations fail stop) then carries the walk across the down
+      // shard without one data-plane call into it. Any obstruction
+      // (non-boundary owner, stale summary, work cap) aborts to an
+      // explicit error: degraded mode has no fallback walk to hide in.
+      const HopAutomaton& nfa = rp.bound->automaton();
+      const std::vector<uint32_t> residual = wire::ResidualHopBudgets(nfa);
+      std::vector<wire::FrontierEntry> seeds;
+      seeds.reserve(nfa.StartStates().size());
+      for (uint32_t s0 : nfa.StartStates()) {
+        seeds.push_back({owner, s0, residual[s0]});
+      }
+      Result<ComposeOutcome> out = ComposeSummaries(
+          topo, rule, p, owner, request.requester, seeds, cross);
+      if (!out.ok()) {
+        if (!first_error.has_value()) first_error = out.status();
+        continue;
+      }
+      switch (*out) {
+        case ComposeOutcome::kGranted:
+          matched = rule;
+          break;
+        case ComposeOutcome::kDenied:
+          break;
+        case ComposeOutcome::kStale:
+          if (!first_error.has_value()) {
+            first_error = unavailable(
+                "a needed boundary summary is stale, unbuilt, or does not "
+                "cover the owner");
+          }
+          break;
+        case ComposeOutcome::kCapped:
+          if (!first_error.has_value()) {
+            first_error = unavailable("summary composition hit its work cap");
+          }
+          break;
+      }
+    }
+    if (matched.has_value()) break;
+  }
+  // A deny is exact only if EVERY rule path concluded; a grant is exact
+  // on its own (summaries never over-approximate).
+  if (!matched.has_value() && first_error.has_value()) return *first_error;
+
+  const wire::Stamp stamp = Stamp();
+  AccessDecision d;
+  d.granted = matched.has_value();
+  d.requester = request.requester;
+  d.resource = request.resource;
+  d.matched_rule = matched;
+  d.stats.pairs_visited = cross.pairs_visited;
+  d.evaluator_name = "shard-degraded";
+  d.snapshot_generation = stamp.snapshot_generation;
+  d.overlay_version = stamp.overlay_version;
+  d.degraded_reason = "owner shard unreachable (" + owner_error.ToString() +
+                      "); concluded exactly from fresh boundary summaries";
+  return d;
+}
+
 Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
                                       uint32_t path, NodeId owner,
                                       NodeId requester,
@@ -290,8 +511,13 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
   phase1.requester = requester;
   phase1.seed = wire::WalkSeed::kOwnerStarts;
   phase1.owner = owner;
-  const wire::WalkReply r1 =
-      shards_[topo.shard_of[owner]]->ExpandFrontier(phase1);
+  const uint32_t owner_shard = topo.shard_of[owner];
+  const Result<wire::WalkReply> r1r = CallShard<wire::WalkReply>(
+      owner_shard, [&](const TransportCallOptions& opts) {
+        return transport_->ExpandFrontier(owner_shard, phase1, opts);
+      });
+  if (!r1r.ok()) return r1r.status();
+  const wire::WalkReply& r1 = *r1r;
   if (r1.status_code != 0) {
     return wire::UnpackStatus(r1.status_code, r1.error);
   }
@@ -304,10 +530,36 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
     return FallbackWalk(topo, rule, path, owner, requester, r1.exports, stats);
   }
 
+  SARGUS_ASSIGN_OR_RETURN(
+      const ComposeOutcome out,
+      ComposeSummaries(topo, rule, path, owner, requester, r1.exports, stats));
+  switch (out) {
+    case ComposeOutcome::kGranted:
+      return true;
+    case ComposeOutcome::kDenied:
+      return false;
+    case ComposeOutcome::kStale:
+      counters_.stale_summary_fallbacks.fetch_add(1, kRelaxed);
+      return FallbackWalk(topo, rule, path, owner, requester, r1.exports,
+                          stats);
+    case ComposeOutcome::kCapped:
+      counters_.capped_compositions.fetch_add(1, kRelaxed);
+      return FallbackWalk(topo, rule, path, owner, requester, r1.exports,
+                          stats);
+  }
+  return Status::Internal("ShardRouter: unreachable compose outcome");
+}
+
+Result<ShardRouter::ComposeOutcome> ShardRouter::ComposeSummaries(
+    const ShardTopology& topo, RuleId rule, uint32_t path, NodeId owner,
+    NodeId requester, std::span<const wire::FrontierEntry> seeds,
+    CrossStats& stats) const {
   // Step 2: router-local summary composition. A worklist of boundary
   // configurations; each is pushed through its shard's summary (exact
   // boundary-to-boundary product reachability), then expanded across
-  // cut edges, until acceptance, a fixpoint, or a reason to fall back.
+  // cut edges, until acceptance, a fixpoint, or a reason to bail
+  // (kStale / kCapped — the caller decides between frontier-exchange
+  // fallback and an explicit degraded-mode error).
   const RouterPath& rp = paths_[rule][path];
   const HopAutomaton& nfa = rp.bound->automaton();
   const uint32_t num_states = nfa.NumStates();
@@ -325,7 +577,7 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
     // only speak boundary-to-boundary).
     if (topo.shard_of[e.node] == req_shard) final_seeds.push_back(e);
   };
-  for (const wire::FrontierEntry& e : r1.exports) enqueue(e);
+  for (const wire::FrontierEntry& e : seeds) enqueue(e);
 
   // Summaries pinned and freshness-checked once per shard per call.
   std::vector<std::shared_ptr<const BoundarySummary>> pinned(shards_.size());
@@ -350,17 +602,11 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
     const BoundarySummary* sum = summary_for(c);
     const int64_t from_idx =
         sum == nullptr ? -1 : sum->BoundaryIndexOf(entry.node);
-    if (from_idx < 0) {
-      counters_.stale_summary_fallbacks.fetch_add(1, kRelaxed);
-      return FallbackWalk(topo, rule, path, owner, requester, r1.exports,
-                          stats);
-    }
+    if (from_idx < 0) return ComposeOutcome::kStale;
     for (size_t j = 0; j < sum->num_boundary(); ++j) {
       for (uint32_t t2 = 0; t2 < num_states; ++t2) {
         if (++tests > options_.max_composition_tests) {
-          counters_.capped_compositions.fetch_add(1, kRelaxed);
-          return FallbackWalk(topo, rule, path, owner, requester, r1.exports,
-                              stats);
+          return ComposeOutcome::kCapped;
         }
         if (!sum->Reaches(rule, path, static_cast<size_t>(from_idx),
                           entry.state, j, t2)) {
@@ -384,7 +630,7 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
           }
           if (accepts && arc.other == requester) {
             stats.used_summary = true;
-            return true;
+            return ComposeOutcome::kGranted;
           }
           for (uint32_t t3 : targets) {
             enqueue({arc.other, t3, residual[t3]});
@@ -394,9 +640,13 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
     }
   }
   stats.used_summary = true;
-  if (final_seeds.empty()) return false;
+  if (final_seeds.empty()) return ComposeOutcome::kDenied;
 
-  // Final local walk in the requester's shard.
+  // Final local walk in the requester's shard (summaries only speak
+  // boundary-to-boundary; interior acceptance needs a live walk). In
+  // degraded mode, if the requester sits INSIDE the unreachable shard
+  // this call fails and the whole decision surfaces kUnavailable —
+  // exactly right, because no fresh summary can see that acceptance.
   wire::WalkRequest fin;
   fin.rule = rule;
   fin.path = path;
@@ -404,12 +654,17 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
   fin.seed = wire::WalkSeed::kFrontier;
   fin.owner = owner;
   fin.frontier = std::move(final_seeds);
-  const wire::WalkReply rf = shards_[req_shard]->ExpandFrontier(fin);
+  const Result<wire::WalkReply> rfr = CallShard<wire::WalkReply>(
+      req_shard, [&](const TransportCallOptions& opts) {
+        return transport_->ExpandFrontier(req_shard, fin, opts);
+      });
+  if (!rfr.ok()) return rfr.status();
+  const wire::WalkReply& rf = *rfr;
   if (rf.status_code != 0) {
     return wire::UnpackStatus(rf.status_code, rf.error);
   }
   stats.pairs_visited += rf.pairs_visited;
-  return rf.accepted != 0;
+  return rf.accepted != 0 ? ComposeOutcome::kGranted : ComposeOutcome::kDenied;
 }
 
 Result<bool> ShardRouter::FallbackWalk(
@@ -449,7 +704,15 @@ Result<bool> ShardRouter::FallbackWalk(
       wr.seed = wire::WalkSeed::kFrontier;
       wr.owner = owner;
       wr.frontier = std::move(pending[s]);
-      const wire::WalkReply r = shards_[s]->ExpandFrontier(wr);
+      const Result<wire::WalkReply> rr = CallShard<wire::WalkReply>(
+          s, [&](const TransportCallOptions& opts) {
+            return transport_->ExpandFrontier(s, wr, opts);
+          });
+      if (!rr.ok()) {
+        counters_.fallback_rounds.fetch_add(rounds, kRelaxed);
+        return rr.status();
+      }
+      const wire::WalkReply& r = *rr;
       if (r.status_code != 0) {
         counters_.fallback_rounds.fetch_add(rounds, kRelaxed);
         return wire::UnpackStatus(r.status_code, r.error);
@@ -481,7 +744,7 @@ std::vector<Result<AccessDecision>> ShardRouter::CheckAccessBatch(
     return out;
   }
   counters_.checks.fetch_add(requests.size(), kRelaxed);
-  if (shards_.size() == 1) {
+  if (shards_.size() == 1 && !options_.transport_decorator) {
     return shards_[0]->engine().CheckAccessBatch(requests);
   }
 
@@ -512,7 +775,16 @@ std::vector<Result<AccessDecision>> ShardRouter::CheckAccessBatch(
     wire::BatchCheckRequest batch;
     batch.requests.reserve(groups[s].size());
     for (uint32_t i : groups[s]) batch.requests.push_back(ToWire(requests[i]));
-    const wire::BatchCheckReply replies = shards_[s]->CheckBatch(batch);
+    const Result<wire::BatchCheckReply> replies_r =
+        CallShard<wire::BatchCheckReply>(
+            s, [&](const TransportCallOptions& opts) {
+              return transport_->CheckBatch(s, batch, opts);
+            });
+    // A transport failure (or short reply) escalates every slot of the
+    // group to the per-request procedure, which carries its own retry /
+    // degraded handling.
+    if (!replies_r.ok()) continue;
+    const wire::BatchCheckReply& replies = *replies_r;
     if (replies.replies.size() != groups[s].size()) continue;  // escalate all
     for (size_t k = 0; k < groups[s].size(); ++k) {
       const uint32_t i = groups[s][k];
@@ -543,7 +815,7 @@ Status ShardRouter::AddEdge(NodeId src, NodeId dst, const std::string& label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1) {
+  if (shards_.size() == 1 && !options_.transport_decorator) {
     return shards_[0]->engine().AddEdge(src, dst, label);
   }
   const auto topo = topology();
@@ -565,7 +837,7 @@ Status ShardRouter::AddEdge(NodeId src, NodeId dst, LabelId label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1) {
+  if (shards_.size() == 1 && !options_.transport_decorator) {
     return shards_[0]->engine().AddEdge(src, dst, label);
   }
   const auto topo = topology();
@@ -580,11 +852,29 @@ Status ShardRouter::AddEdge(NodeId src, NodeId dst, LabelId label) {
   req.src = src;
   req.dst = dst;
   req.label = label;
-  const wire::MutateReply r1 = shards_[s1]->Mutate(req);
-  Status st = wire::UnpackStatus(r1.status_code, r1.error);
+  // Transport mutations are fail-stop-before-apply (shard/transport.h):
+  // a transport error here means shard s1 never saw the edge.
+  const Result<wire::MutateReply> r1 = CallMutate(s1, req);
+  if (!r1.ok()) return r1.status();
+  Status st = wire::UnpackStatus(r1->status_code, r1->error);
   if (s2 != s1) {
-    const wire::MutateReply r2 = shards_[s2]->Mutate(req);
-    const Status st2 = wire::UnpackStatus(r2.status_code, r2.error);
+    const Result<wire::MutateReply> r2 = CallMutate(s2, req);
+    if (!r2.ok()) {
+      // s1 already applied its half of the cut edge. Compensate with a
+      // direct engine rollback — the in-process control plane stays
+      // reliable even when the data-plane transport is faulting — so a
+      // torn cut edge is never observable.
+      if (st.ok()) {
+        const Status undo = shards_[s1]->engine().RemoveEdge(src, dst, label);
+        if (!undo.ok()) {
+          return Status::Internal(
+              "AddEdge: rollback after partial apply failed: " +
+              undo.ToString() + " (original: " + r2.status().ToString() + ")");
+        }
+      }
+      return r2.status();
+    }
+    const Status st2 = wire::UnpackStatus(r2->status_code, r2->error);
     if (st.ok() != st2.ok()) {
       return Status::Internal("AddEdge: shards disagree (" + st.ToString() +
                               " vs " + st2.ToString() + ")");
@@ -608,7 +898,7 @@ Status ShardRouter::RemoveEdge(NodeId src, NodeId dst,
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1) {
+  if (shards_.size() == 1 && !options_.transport_decorator) {
     return shards_[0]->engine().RemoveEdge(src, dst, label);
   }
   const LabelId id = master_graph_->labels().Lookup(label);
@@ -622,7 +912,7 @@ Status ShardRouter::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1) {
+  if (shards_.size() == 1 && !options_.transport_decorator) {
     return shards_[0]->engine().RemoveEdge(src, dst, label);
   }
   const auto topo = topology();
@@ -637,11 +927,25 @@ Status ShardRouter::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
   req.src = src;
   req.dst = dst;
   req.label = label;
-  const wire::MutateReply r1 = shards_[s1]->Mutate(req);
-  Status st = wire::UnpackStatus(r1.status_code, r1.error);
+  const Result<wire::MutateReply> r1 = CallMutate(s1, req);
+  if (!r1.ok()) return r1.status();
+  Status st = wire::UnpackStatus(r1->status_code, r1->error);
   if (s2 != s1) {
-    const wire::MutateReply r2 = shards_[s2]->Mutate(req);
-    const Status st2 = wire::UnpackStatus(r2.status_code, r2.error);
+    const Result<wire::MutateReply> r2 = CallMutate(s2, req);
+    if (!r2.ok()) {
+      // Mirror of the AddEdge compensation: restore s1's half so the
+      // cut edge is not half-removed.
+      if (st.ok()) {
+        const Status undo = shards_[s1]->engine().AddEdge(src, dst, label);
+        if (!undo.ok()) {
+          return Status::Internal(
+              "RemoveEdge: rollback after partial apply failed: " +
+              undo.ToString() + " (original: " + r2.status().ToString() + ")");
+        }
+      }
+      return r2.status();
+    }
+    const Status st2 = wire::UnpackStatus(r2->status_code, r2->error);
     if (st.ok() != st2.ok()) {
       return Status::Internal("RemoveEdge: shards disagree (" + st.ToString() +
                               " vs " + st2.ToString() + ")");
@@ -677,7 +981,10 @@ Result<NodeId> ShardRouter::AddNode() {
 
   // Every shard keeps the full node id space, so the node is added to
   // ALL shards (the ids must come back aligned); the topology then
-  // assigns ownership to the least-loaded shard.
+  // assigns ownership to the least-loaded shard. This is a cluster-
+  // membership operation, so it goes over the direct control plane, not
+  // the faultable transport: a partial AddNode would misalign node ids
+  // across shards permanently, which no retry could repair.
   const NodeId expected = static_cast<NodeId>(topo->shard_of.size());
   wire::MutateRequest req;
   req.op = wire::MutateOp::kAddNode;

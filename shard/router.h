@@ -39,11 +39,27 @@
 /// wraps the caller's graph and store in place, and CheckAccess simply
 /// forwards (decisions carry the engine's own stamps, byte-identical to
 /// going through the engine directly).
+///
+/// Robustness (PR 7): every data-plane shard call goes through a
+/// ShardTransport (shard/transport.h) under a retry / deadline /
+/// circuit-breaker policy (RouterRobustnessOptions). When an owner
+/// shard is unreachable, checks concludable exactly from fresh boundary
+/// summaries are still answered (stamped with degraded_reason);
+/// everything else fails with an explicit kUnavailable or
+/// kDeadlineExceeded — a completed decision is always exact, a
+/// non-answer is always an error, and a silently wrong grant or deny is
+/// never returned. Control-plane operations (Build, AddNode,
+/// RefreshSummaries, CompactAll, stamp and summary reads) stay direct
+/// in-process calls: they model cluster management, which a real
+/// deployment runs over a reliable coordination channel, not the
+/// request path.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,9 +70,45 @@
 #include "shard/partitioner.h"
 #include "shard/shard_engine.h"
 #include "shard/topology.h"
+#include "shard/transport.h"
 #include "shard/wire.h"
 
 namespace sargus {
+
+/// Retry / deadline / circuit-breaker policy for the router's data-
+/// plane calls (see docs/ARCHITECTURE.md, "Failure model & degraded
+/// serving"). Every transport call gets a per-attempt deadline; failed
+/// attempts retry with exponential backoff + deterministic jitter under
+/// a per-operation budget; a shard that keeps failing trips a breaker
+/// and fails fast until a half-open probe succeeds.
+struct RouterRobustnessOptions {
+  /// Per-attempt deadline, ms (0 = none).
+  uint32_t call_deadline_ms = 50;
+  /// Total time budget for one logical shard operation including
+  /// retries and backoff, ms (0 = none).
+  uint32_t op_budget_ms = 250;
+  /// Attempts per logical call (1 = no retries).
+  uint32_t max_attempts = 3;
+  /// Backoff before retry k (0-based) is
+  /// min(backoff_base_ms << k, backoff_max_ms), stretched by up to
+  /// backoff_jitter of itself (deterministic per-call jitter).
+  uint32_t backoff_base_ms = 1;
+  uint32_t backoff_max_ms = 32;
+  double backoff_jitter = 0.5;
+  /// Consecutive transport failures that open a shard's breaker.
+  uint32_t breaker_failure_threshold = 3;
+  /// How long an open breaker fails fast before allowing one half-open
+  /// probe, ms.
+  uint32_t breaker_open_ms = 100;
+  /// When an owner shard is unreachable, answer cross-shard checks that
+  /// are concludable exactly from fresh boundary summaries instead of
+  /// failing them (the decision is stamped with degraded_reason).
+  /// Checks that cannot be concluded exactly still fail with
+  /// kUnavailable — degraded mode never guesses.
+  bool allow_degraded = true;
+  /// Seed for the deterministic backoff jitter.
+  uint64_t jitter_seed = 0x5eedULL;
+};
 
 struct RouterOptions {
   PartitionOptions partition;
@@ -70,6 +122,17 @@ struct RouterOptions {
   /// Summary-composition work cap (reachability tests per path); an
   /// exceeding composition falls back to frontier exchange.
   size_t max_composition_tests = size_t{1} << 20;
+  /// Retry / breaker / degraded-serving policy.
+  RouterRobustnessOptions robustness;
+  /// Wraps the router's transport at Build() — the seam the fault-
+  /// injection tests use (wrap the InProcessTransport in a
+  /// FaultInjectionTransport). When set, even an N == 1 router routes
+  /// data-plane calls through the transport so single-shard
+  /// configurations are chaos-testable; when unset, N == 1 stays a
+  /// direct zero-copy passthrough.
+  std::function<std::unique_ptr<ShardTransport>(
+      std::unique_ptr<ShardTransport>)>
+      transport_decorator;
 };
 
 /// Monotonic router-level counters (relaxed atomics; read with
@@ -94,6 +157,17 @@ struct RouterCounters {
   uint64_t stale_summary_fallbacks = 0;
   /// Fallbacks caused by the composition work cap.
   uint64_t capped_compositions = 0;
+  /// Transport-call re-attempts (attempt 2+ of a logical call).
+  uint64_t retries = 0;
+  /// Transport attempts that ended kDeadlineExceeded.
+  uint64_t timeouts = 0;
+  /// Circuit-breaker open transitions (closed->open and re-opens).
+  uint64_t breaker_opens = 0;
+  /// Checks answered exactly through the degraded (owner-shard-down)
+  /// summary path.
+  uint64_t degraded_answers = 0;
+  /// Checks that returned kUnavailable / kDeadlineExceeded.
+  uint64_t unavailable_errors = 0;
 };
 
 class ShardRouter {
@@ -114,6 +188,12 @@ class ShardRouter {
   ShardEngine& shard(uint32_t id) { return *shards_[id]; }
   const ShardEngine& shard(uint32_t id) const { return *shards_[id]; }
   std::shared_ptr<const ShardTopology> topology() const;
+
+  /// The data-plane transport built at Build() (after decoration).
+  /// Valid only after Build().
+  ShardTransport& transport() const { return *transport_; }
+  /// The per-shard circuit breaker. Valid only after Build().
+  ShardHealthTracker& health() const { return *health_; }
 
   // ---- Read path (thread-safe; concurrent with one writer) ----------------
 
@@ -168,10 +248,34 @@ class ShardRouter {
     bool used_fallback = false;
   };
 
+  /// How a summary-composition run ended (shared by the healthy and
+  /// degraded paths).
+  enum class ComposeOutcome : uint8_t {
+    kGranted = 0,
+    kDenied = 1,
+    /// A consulted summary was missing, stale, or did not cover a
+    /// needed boundary vertex. Healthy path: frontier-exchange
+    /// fallback. Degraded path: kUnavailable.
+    kStale = 2,
+    /// The composition work cap was hit. Same handling as kStale.
+    kCapped = 3,
+  };
+
   void PublishTopology(std::shared_ptr<const ShardTopology> topo);
 
-  /// Full multi-shard decision procedure (file comment, steps 1-3).
+  /// Full multi-shard decision procedure (file comment, steps 1-3),
+  /// plus retry / breaker / degraded handling. Wrapped by DecideMulti,
+  /// which maintains the robustness counters.
+  Result<AccessDecision> DecideMultiImpl(const AccessRequest& request) const;
   Result<AccessDecision> DecideMulti(const AccessRequest& request) const;
+
+  /// Degraded decision: the owner's shard is unreachable
+  /// (`owner_error`); conclude every rule path exactly from fresh
+  /// boundary summaries and healthy shards, or fail with kUnavailable.
+  Result<AccessDecision> DecideDegraded(const ShardTopology& topo,
+                                        const AccessRequest& request,
+                                        NodeId owner,
+                                        const Status& owner_error) const;
 
   /// Does a path from `owner` to `requester` matching (rule, path)
   /// exist in the global graph? Exact.
@@ -179,11 +283,29 @@ class ShardRouter {
                            uint32_t path, NodeId owner, NodeId requester,
                            CrossStats& stats) const;
 
+  /// Step 2 core: router-local summary composition from `seeds`,
+  /// finishing with a local walk on the requester's shard when entry
+  /// configurations landed there. Transport failures propagate as
+  /// statuses; composition obstructions come back as kStale / kCapped.
+  Result<ComposeOutcome> ComposeSummaries(
+      const ShardTopology& topo, RuleId rule, uint32_t path, NodeId owner,
+      NodeId requester, std::span<const wire::FrontierEntry> seeds,
+      CrossStats& stats) const;
+
   /// Step 3: two-phase frontier-exchange rounds from `seeds`.
   Result<bool> FallbackWalk(const ShardTopology& topo, RuleId rule,
                             uint32_t path, NodeId owner, NodeId requester,
                             std::span<const wire::FrontierEntry> seeds,
                             CrossStats& stats) const;
+
+  /// One robust logical transport call: per-attempt deadlines, bounded
+  /// retries with jittered exponential backoff, circuit-breaker
+  /// consultation. `call` runs one attempt given its TransportCallOptions.
+  template <typename Reply, typename Fn>
+  Result<Reply> CallShard(uint32_t shard, Fn&& call) const;
+
+  Result<wire::MutateReply> CallMutate(uint32_t shard,
+                                       const wire::MutateRequest& req);
 
   SocialGraph* master_graph_;
   const PolicyStore* master_store_;
@@ -191,6 +313,11 @@ class ShardRouter {
 
   GraphPartition partition_;
   std::vector<std::unique_ptr<ShardEngine>> shards_;
+  /// Data-plane road to the shards (InProcessTransport, possibly
+  /// decorated). Null until Build(); N == 1 without a decorator
+  /// bypasses it entirely.
+  std::unique_ptr<ShardTransport> transport_;
+  std::unique_ptr<ShardHealthTracker> health_;
   /// Owner + rule mirror of the master store (resource-id indexed).
   std::vector<RouterResource> resources_;
   /// Router-side binds against the master dictionaries (rule-id
@@ -214,8 +341,15 @@ class ShardRouter {
     std::atomic<uint64_t> fallback_rounds{0};
     std::atomic<uint64_t> stale_summary_fallbacks{0};
     std::atomic<uint64_t> capped_compositions{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> degraded_answers{0};
+    std::atomic<uint64_t> unavailable_errors{0};
+    // breaker_opens lives on the ShardHealthTracker.
   };
   mutable AtomicCounters counters_;
+  /// Per-call sequence for deterministic backoff jitter.
+  mutable std::atomic<uint64_t> call_seq_{0};
 };
 
 }  // namespace sargus

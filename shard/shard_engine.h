@@ -99,6 +99,16 @@ class ShardEngine {
   wire::WalkReply ExpandFrontier(const wire::WalkRequest& request) const;
   wire::MutateReply Mutate(const wire::MutateRequest& request);
 
+  /// Byte-level dispatch: the entry point a socket server loop would
+  /// hand incoming frames to. Parses `frame`, routes request messages
+  /// to the handlers above, and returns the encoded reply. Anything
+  /// unparseable or non-request (a reply or error frame is not a valid
+  /// thing to SEND a shard) comes back as an encoded wire::ErrorFrame —
+  /// garbage in, a clean validated error frame out, never a crash.
+  /// Note: a kMutateRequest routed through HandleFrame takes the writer
+  /// path, so byte-level callers inherit the single-writer contract.
+  std::vector<uint8_t> HandleFrame(std::span<const uint8_t> frame);
+
   // ---- Boundary summary ---------------------------------------------------
 
   /// Rebuilds this shard's boundary summary from its current read view

@@ -95,10 +95,70 @@ class ByteReader {
   bool failed_ = false;
 };
 
+constexpr size_t kHeaderBytes = 9;    // magic + version + type
+constexpr size_t kChecksumBytes = 8;  // trailing FNV-1a 64
+
+uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 void PutHeader(ByteWriter& w, MsgType type) {
   w.U32(kMagic);
   w.U32(kProtocolVersion);
   w.U8(static_cast<uint8_t>(type));
+}
+
+/// Appends the frame checksum and releases the buffer. Every Encode
+/// ends with this; every decoder starts with CheckFrame below.
+std::vector<uint8_t> Seal(ByteWriter& w) {
+  std::vector<uint8_t> frame = w.Take();
+  const uint64_t sum = Fnv1a64(frame);
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<uint8_t>(sum >> (8 * i)));
+  }
+  return frame;
+}
+
+uint32_t ReadU32At(std::span<const uint8_t> bytes, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t{bytes[pos + i]} << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64At(std::span<const uint8_t> bytes, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t{bytes[pos + i]} << (8 * i);
+  return v;
+}
+
+/// Validates magic, version and the trailing checksum, returning the
+/// frame body (header + payload, checksum stripped). Any mutation of a
+/// sealed frame — bit flip, truncation, extension — fails here with a
+/// clean kInvalidArgument.
+Result<std::span<const uint8_t>> CheckFrame(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes + kChecksumBytes) {
+    return Status::InvalidArgument("wire: frame shorter than header");
+  }
+  if (ReadU32At(bytes, 0) != kMagic) {
+    return Status::InvalidArgument("wire: bad magic (not a sargus frame)");
+  }
+  const uint32_t version = ReadU32At(bytes, 4);
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("wire: unknown protocol version " +
+                                   std::to_string(version) + " (speak " +
+                                   std::to_string(kProtocolVersion) + ")");
+  }
+  const std::span<const uint8_t> body =
+      bytes.first(bytes.size() - kChecksumBytes);
+  if (Fnv1a64(body) != ReadU64At(bytes, bytes.size() - kChecksumBytes)) {
+    return Status::InvalidArgument("wire: frame checksum mismatch");
+  }
+  return body;
 }
 
 Status TakeHeader(ByteReader& r, MsgType expected) {
@@ -232,7 +292,7 @@ uint8_t PackStatus(const Status& status) {
 
 Status UnpackStatus(uint8_t code, std::string error) {
   if (code == 0) return OkStatus();
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::Internal("wire: unknown status code " +
                             std::to_string(code) + ": " + error);
   }
@@ -243,11 +303,13 @@ std::vector<uint8_t> Encode(const CheckRequest& m) {
   ByteWriter w;
   PutHeader(w, MsgType::kCheckRequest);
   PutCheckRequestBody(w, m);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<CheckRequest> DecodeCheckRequest(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kCheckRequest));
   CheckRequest m = TakeCheckRequestBody(r);
   SARGUS_RETURN_IF_ERROR(CheckTail(r));
@@ -258,11 +320,13 @@ std::vector<uint8_t> Encode(const CheckReply& m) {
   ByteWriter w;
   PutHeader(w, MsgType::kCheckReply);
   PutCheckReplyBody(w, m);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<CheckReply> DecodeCheckReply(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kCheckReply));
   CheckReply m = TakeCheckReplyBody(r);
   SARGUS_RETURN_IF_ERROR(CheckTail(r));
@@ -274,12 +338,14 @@ std::vector<uint8_t> Encode(const BatchCheckRequest& m) {
   PutHeader(w, MsgType::kBatchCheckRequest);
   w.U32(static_cast<uint32_t>(m.requests.size()));
   for (const CheckRequest& c : m.requests) PutCheckRequestBody(w, c);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<BatchCheckRequest> DecodeBatchCheckRequest(
     std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kBatchCheckRequest));
   BatchCheckRequest m;
   const uint32_t n = r.Count(11);
@@ -294,11 +360,13 @@ std::vector<uint8_t> Encode(const BatchCheckReply& m) {
   PutHeader(w, MsgType::kBatchCheckReply);
   w.U32(static_cast<uint32_t>(m.replies.size()));
   for (const CheckReply& c : m.replies) PutCheckReplyBody(w, c);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<BatchCheckReply> DecodeBatchCheckReply(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kBatchCheckReply));
   BatchCheckReply m;
   const uint32_t n = r.Count(1);
@@ -317,11 +385,13 @@ std::vector<uint8_t> Encode(const WalkRequest& m) {
   w.U8(static_cast<uint8_t>(m.seed));
   w.U32(m.owner);
   PutFrontier(w, m.frontier);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<WalkRequest> DecodeWalkRequest(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kWalkRequest));
   WalkRequest m;
   m.rule = r.U32();
@@ -348,11 +418,13 @@ std::vector<uint8_t> Encode(const WalkReply& m) {
   PutFrontier(w, m.exports);
   w.U64(m.pairs_visited);
   PutStamp(w, m.stamp);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<WalkReply> DecodeWalkReply(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kWalkReply));
   WalkReply m;
   m.status_code = r.U8();
@@ -373,11 +445,13 @@ std::vector<uint8_t> Encode(const MutateRequest& m) {
   w.U32(m.dst);
   w.U16(m.label);
   w.Str(m.label_name);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<MutateRequest> DecodeMutateRequest(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kMutateRequest));
   MutateRequest m;
   const uint8_t op = r.U8();
@@ -401,11 +475,13 @@ std::vector<uint8_t> Encode(const MutateReply& m) {
   w.Str(m.error);
   w.U32(m.new_node);
   PutStamp(w, m.stamp);
-  return w.Take();
+  return Seal(w);
 }
 
 Result<MutateReply> DecodeMutateReply(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
   SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kMutateReply));
   MutateReply m;
   m.status_code = r.U8();
@@ -414,6 +490,93 @@ Result<MutateReply> DecodeMutateReply(std::span<const uint8_t> bytes) {
   m.stamp = TakeStamp(r);
   SARGUS_RETURN_IF_ERROR(CheckTail(r));
   return m;
+}
+
+std::vector<uint8_t> Encode(const ErrorFrame& m) {
+  ByteWriter w;
+  PutHeader(w, MsgType::kErrorFrame);
+  w.U8(m.status_code);
+  w.Str(m.message);
+  return Seal(w);
+}
+
+Result<ErrorFrame> DecodeErrorFrame(std::span<const uint8_t> bytes) {
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  ByteReader r(body);
+  SARGUS_RETURN_IF_ERROR(TakeHeader(r, MsgType::kErrorFrame));
+  ErrorFrame m;
+  m.status_code = r.U8();
+  m.message = r.Str();
+  SARGUS_RETURN_IF_ERROR(CheckTail(r));
+  if (m.status_code == 0) {
+    return Status::InvalidArgument("wire: error frame with OK status");
+  }
+  return m;
+}
+
+Status StatusFromErrorFrame(const ErrorFrame& frame) {
+  if (frame.status_code == 0) {
+    // Never encoded; defend against a hand-built frame anyway.
+    return Status::Internal("wire: error frame with OK status: " +
+                            frame.message);
+  }
+  return UnpackStatus(frame.status_code, frame.message);
+}
+
+Result<MsgType> PeekType(std::span<const uint8_t> bytes) {
+  SARGUS_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                          CheckFrame(bytes));
+  const uint8_t type = body[kHeaderBytes - 1];
+  if (type < static_cast<uint8_t>(MsgType::kCheckRequest) ||
+      type > static_cast<uint8_t>(MsgType::kErrorFrame)) {
+    return Status::InvalidArgument("wire: unknown message type " +
+                                   std::to_string(type));
+  }
+  return static_cast<MsgType>(type);
+}
+
+Result<Message> ParseMessage(std::span<const uint8_t> bytes) {
+  SARGUS_ASSIGN_OR_RETURN(const MsgType type, PeekType(bytes));
+  switch (type) {
+    case MsgType::kCheckRequest: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeCheckRequest(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kCheckReply: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeCheckReply(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kBatchCheckRequest: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeBatchCheckRequest(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kBatchCheckReply: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeBatchCheckReply(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kWalkRequest: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeWalkRequest(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kWalkReply: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeWalkReply(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kMutateRequest: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeMutateRequest(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kMutateReply: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeMutateReply(bytes));
+      return Message(std::move(m));
+    }
+    case MsgType::kErrorFrame: {
+      SARGUS_ASSIGN_OR_RETURN(auto m, DecodeErrorFrame(bytes));
+      return Message(std::move(m));
+    }
+  }
+  return Status::Internal("wire: unreachable message type");
 }
 
 }  // namespace sargus::wire

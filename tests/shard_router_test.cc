@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/rng.h"
@@ -184,6 +187,166 @@ TEST(Wire, RejectsCorruptFrames) {
   auto padded = bytes;
   padded.push_back(0);
   EXPECT_FALSE(wire::DecodeCheckRequest(padded).ok());
+}
+
+TEST(Wire, ErrorFrameRoundTrip) {
+  wire::ErrorFrame f;
+  f.status_code = wire::PackStatus(Status::Unavailable("shard 2 unreachable"));
+  f.message = "shard 2 unreachable";
+  auto decoded = wire::DecodeErrorFrame(wire::Encode(f));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, f);
+  const Status s = wire::StatusFromErrorFrame(*decoded);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "shard 2 unreachable");
+
+  // An OK error frame is meaningless; the decoder refuses to produce one.
+  wire::ErrorFrame ok_frame;
+  ok_frame.status_code = 0;
+  ok_frame.message = "fine";
+  EXPECT_EQ(wire::DecodeErrorFrame(wire::Encode(ok_frame)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, ChecksumCatchesEverySingleBitFlip) {
+  // The v2 trailing checksum covers the entire frame: any single-bit
+  // flip — header, type byte, payload, or the checksum itself — must be
+  // a clean decode error, never a silently misread message.
+  wire::WalkReply rep;
+  rep.exports = {{3, 1, 2}, {9, 0, 4}};
+  rep.pairs_visited = 501;
+  rep.stamp = {7, 13};
+  const std::vector<uint8_t> bytes = wire::Encode(rep);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = bytes;
+      flipped[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(wire::DecodeWalkReply(flipped).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Wire, ParseMessageDispatchesEveryType) {
+  auto parse = [](const std::vector<uint8_t>& bytes) {
+    auto m = wire::ParseMessage(bytes);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return std::move(*m);
+  };
+  EXPECT_TRUE(std::holds_alternative<wire::CheckRequest>(
+      parse(wire::Encode(wire::CheckRequest{.requester = 1}))));
+  EXPECT_TRUE(std::holds_alternative<wire::CheckReply>(
+      parse(wire::Encode(wire::CheckReply{}))));
+  EXPECT_TRUE(std::holds_alternative<wire::BatchCheckRequest>(
+      parse(wire::Encode(wire::BatchCheckRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<wire::BatchCheckReply>(
+      parse(wire::Encode(wire::BatchCheckReply{}))));
+  EXPECT_TRUE(std::holds_alternative<wire::WalkRequest>(
+      parse(wire::Encode(wire::WalkRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<wire::WalkReply>(
+      parse(wire::Encode(wire::WalkReply{}))));
+  EXPECT_TRUE(std::holds_alternative<wire::MutateRequest>(
+      parse(wire::Encode(wire::MutateRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<wire::MutateReply>(
+      parse(wire::Encode(wire::MutateReply{}))));
+  wire::ErrorFrame ef;
+  ef.status_code = wire::PackStatus(Status::Internal("x"));
+  EXPECT_TRUE(std::holds_alternative<wire::ErrorFrame>(
+      parse(wire::Encode(ef))));
+  EXPECT_FALSE(wire::ParseMessage({}).ok());
+}
+
+TEST(Wire, ParseMessageFuzz10k) {
+  // One valid frame of every message type, with non-trivial payloads.
+  std::vector<std::vector<uint8_t>> pool;
+  pool.push_back(wire::Encode(wire::CheckRequest{
+      .requester = 5, .resource = 2, .want_witness = 1}));
+  wire::CheckReply crep;
+  crep.granted = 1;
+  crep.witness = {1, 2, 3};
+  crep.stamp = {3, 4};
+  pool.push_back(wire::Encode(crep));
+  wire::BatchCheckRequest breq;
+  breq.requests = {{.requester = 1}, {.requester = 2, .resource = 1}};
+  pool.push_back(wire::Encode(breq));
+  wire::BatchCheckReply brep;
+  brep.replies = {crep, wire::CheckReply{}};
+  pool.push_back(wire::Encode(brep));
+  wire::WalkRequest wreq;
+  wreq.rule = 4;
+  wreq.seed = wire::WalkSeed::kFrontier;
+  wreq.frontier = {{10, 2, 3}, {20, 0, 5}};
+  pool.push_back(wire::Encode(wreq));
+  wire::WalkReply wrep;
+  wrep.exports = {{3, 1, 2}};
+  wrep.pairs_visited = 77;
+  pool.push_back(wire::Encode(wrep));
+  wire::MutateRequest mreq;
+  mreq.op = wire::MutateOp::kAddEdge;
+  mreq.src = 5;
+  mreq.dst = 6;
+  mreq.label_name = "friend";
+  pool.push_back(wire::Encode(mreq));
+  wire::MutateReply mrep;
+  mrep.new_node = 99;
+  pool.push_back(wire::Encode(mrep));
+  wire::ErrorFrame ef;
+  ef.status_code = wire::PackStatus(Status::Unavailable("boom"));
+  ef.message = "boom";
+  pool.push_back(wire::Encode(ef));
+
+  Rng rng(0xF0221D);
+  int accepted = 0;
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::vector<uint8_t> bytes;
+    if (iter % 5 == 4) {
+      // Pure random garbage of random length (possibly empty).
+      bytes.resize(rng.NextBounded(64));
+      for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+    } else {
+      // 1-4 seeded mutations of a valid frame.
+      bytes = pool[rng.NextBounded(pool.size())];
+      const uint64_t mutations = 1 + rng.NextBounded(4);
+      for (uint64_t m = 0; m < mutations; ++m) {
+        switch (rng.NextBounded(4)) {
+          case 0:  // flip one bit
+            if (!bytes.empty()) {
+              bytes[rng.NextBounded(bytes.size())] ^=
+                  static_cast<uint8_t>(1u << rng.NextBounded(8));
+            }
+            break;
+          case 1:  // zero one byte
+            if (!bytes.empty()) bytes[rng.NextBounded(bytes.size())] = 0;
+            break;
+          case 2:  // truncate
+            if (!bytes.empty()) bytes.resize(rng.NextBounded(bytes.size()));
+            break;
+          default: {  // append garbage
+            const uint64_t extra = 1 + rng.NextBounded(4);
+            for (uint64_t i = 0; i < extra; ++i) {
+              bytes.push_back(static_cast<uint8_t>(rng.NextU64()));
+            }
+            break;
+          }
+        }
+      }
+    }
+    auto parsed = wire::ParseMessage(bytes);
+    if (parsed.ok()) {
+      // Only a mutation sequence that reproduced a pool frame byte-for-
+      // byte may be accepted (e.g. the same bit flipped twice); the
+      // checksum makes accepting genuinely mutated bytes a 2^-64 event.
+      bool is_original = false;
+      for (const auto& original : pool) is_original |= (bytes == original);
+      EXPECT_TRUE(is_original) << "iteration " << iter;
+      ++accepted;
+    } else {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "iteration " << iter;
+    }
+  }
+  // Sanity: the harness really was feeding almost-always-invalid frames.
+  EXPECT_LT(accepted, 500);
 }
 
 // ---- Router: single-shard passthrough -------------------------------------
@@ -580,6 +743,287 @@ TEST(ShardRouterConcurrency, ReadersRaceOneWriter) {
   stop.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
   EXPECT_GT(router.counters().checks, 0u);
+}
+
+// ---- Transport: in-process path, fault injection, circuit breaker ----------
+
+// The 8-node / 2-shard chain fixture shared by the transport tests:
+// nodes 0-3 on shard 0, 4-7 on shard 1, chain 0 -f-> 4 -f-> 5 -f-> 1,
+// resource at node 0 guarded by friend[1,3]. Requester 1 is granted
+// through two cut crossings; requester 3 never is.
+struct ChainFixture {
+  SocialGraph graph;
+  PolicyStore store;
+  ResourceId res = 0;
+};
+
+ChainFixture MakeChain() {
+  ChainFixture f;
+  f.graph.AddNodes(8);
+  EXPECT_TRUE(f.graph.AddEdge(0, 4, "friend").ok());
+  EXPECT_TRUE(f.graph.AddEdge(4, 5, "friend").ok());
+  EXPECT_TRUE(f.graph.AddEdge(5, 1, "friend").ok());
+  f.res = f.store.RegisterResource(0, "res");
+  EXPECT_TRUE(f.store.AddRuleFromPaths(f.res, {"friend[1,3]"}).ok());
+  return f;
+}
+
+TEST(ShardTransport, InProcessMatchesDirect) {
+  auto g = SmallEr(21);
+  ASSERT_TRUE(g.ok());
+  Workload w = MakeWorkload(std::move(*g));
+  RouterOptions opts;
+  opts.partition.num_shards = 2;
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  InProcessTransport transport({&router.shard(0), &router.shard(1)});
+  ASSERT_EQ(transport.num_shards(), 2u);
+  const wire::CheckRequest req =
+      ToWire(AccessRequest{.requester = 9, .resource = w.resources[0]});
+  for (uint32_t s = 0; s < 2; ++s) {
+    const wire::CheckReply direct = router.shard(s).Check(req);
+    auto through = transport.Check(s, req, {});
+    ASSERT_TRUE(through.ok());
+    EXPECT_EQ(*through, direct);
+  }
+  // A deadline in the past fails cleanly before touching the shard.
+  TransportCallOptions past;
+  past.deadline_ms = 1;
+  EXPECT_EQ(transport.Check(0, req, past).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(ShardTransport, HandleFrameDispatch) {
+  SocialGraph g = MakeDiamond();
+  PolicyStore store;
+  const ResourceId photo = store.RegisterResource(0, "photo");
+  ASSERT_TRUE(store.AddRuleFromPaths(photo, {"friend[1,2]/colleague[1]"}).ok());
+  ShardRouter router(g, store);
+  ASSERT_TRUE(router.Build().ok());
+  ShardEngine& shard = router.shard(0);
+
+  // A valid request frame comes back as the encoded reply the typed
+  // handler produces.
+  const wire::CheckRequest req =
+      ToWire(AccessRequest{.requester = 3, .resource = photo});
+  auto reply = wire::DecodeCheckReply(shard.HandleFrame(wire::Encode(req)));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, shard.Check(req));
+  EXPECT_EQ(reply->granted, 1);
+
+  // Mutations through the byte path take the writer path too.
+  wire::MutateRequest mreq;
+  mreq.op = wire::MutateOp::kAddEdge;
+  mreq.src = 3;
+  mreq.dst = 0;
+  mreq.label_name = "friend";
+  auto mrep = wire::DecodeMutateReply(shard.HandleFrame(wire::Encode(mreq)));
+  ASSERT_TRUE(mrep.ok());
+  EXPECT_EQ(mrep->status_code, 0);
+
+  // Garbage comes back as a decodable error frame, never a crash.
+  const std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+  auto err = wire::DecodeErrorFrame(shard.HandleFrame(garbage));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(wire::StatusFromErrorFrame(*err).code(),
+            StatusCode::kInvalidArgument);
+
+  // A reply frame is not a valid thing to SEND a shard.
+  auto not_request =
+      wire::DecodeErrorFrame(shard.HandleFrame(wire::Encode(wire::CheckReply{})));
+  ASSERT_TRUE(not_request.ok());
+  EXPECT_EQ(wire::StatusFromErrorFrame(*not_request).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardTransport, FaultInjectionDeterministic) {
+  auto g = SmallBa(7);
+  ASSERT_TRUE(g.ok());
+  Workload w = MakeWorkload(std::move(*g));
+  RouterOptions opts;
+  opts.partition.num_shards = 2;
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  struct Trace {
+    std::vector<int> outcomes;
+    std::vector<uint64_t> counters;
+  };
+  auto drive = [&](uint64_t seed) {
+    FaultInjectionTransport t(
+        std::make_unique<InProcessTransport>(
+            std::vector<ShardEngine*>{&router.shard(0), &router.shard(1)}),
+        seed);
+    ShardFaultProfile p;
+    p.delay_probability = 0.3;
+    p.drop_probability = 0.2;
+    p.error_probability = 0.1;
+    p.corrupt_probability = 0.1;
+    p.delay_min_ms = 5;
+    p.delay_max_ms = 20;
+    t.SetProfile(0, p);
+    t.SetProfile(1, p);
+    Trace trace;
+    for (int i = 0; i < 200; ++i) {
+      TransportCallOptions call;
+      call.deadline_ms = t.NowMs() + 10;  // delays over 10ms blow this
+      const wire::CheckRequest req = ToWire(AccessRequest{
+          .requester = static_cast<NodeId>(i % 60),
+          .resource = w.resources[static_cast<size_t>(i) %
+                                  w.resources.size()]});
+      auto r = t.Check(static_cast<uint32_t>(i % 2), req, call);
+      if (!r.ok()) {
+        // The transport error contract: nothing but these two codes.
+        EXPECT_TRUE(r.status().code() == StatusCode::kUnavailable ||
+                    r.status().code() == StatusCode::kDeadlineExceeded)
+            << r.status().ToString();
+      }
+      trace.outcomes.push_back(r.ok() ? 0
+                                      : static_cast<int>(r.status().code()));
+    }
+    for (uint32_t s = 0; s < 2; ++s) {
+      const FaultCounters c = t.counters(s);
+      trace.counters.insert(trace.counters.end(),
+                            {c.calls, c.drops, c.error_replies, c.corrupts,
+                             c.corrupt_survived, c.delays, c.deadline_hits});
+    }
+    return trace;
+  };
+
+  const Trace a = drive(42);
+  const Trace b = drive(42);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.counters, b.counters);
+  const Trace c = drive(43);
+  EXPECT_NE(a.outcomes, c.outcomes);
+
+  // The seeded run really exercised every fault kind somewhere.
+  const auto total = [&](size_t field) {
+    return a.counters[field] + a.counters[field + 7];
+  };
+  EXPECT_GT(total(1), 0u);  // drops
+  EXPECT_GT(total(2), 0u);  // error replies
+  EXPECT_GT(total(3), 0u);  // corrupts
+  EXPECT_GT(total(5), 0u);  // delays
+  EXPECT_GT(total(6), 0u);  // deadline hits
+}
+
+TEST(ShardTransport, CircuitBreakerStateMachine) {
+  ShardHealthTracker breaker(2, /*failure_threshold=*/3, /*open_ms=*/100);
+  const uint64_t now = 1000;
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowCall(0, now));
+
+  // A success resets the consecutive-failure streak.
+  breaker.RecordFailure(0, now);
+  breaker.RecordFailure(0, now);
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(0), 2u);
+  breaker.RecordSuccess(0);
+  EXPECT_EQ(breaker.consecutive_failures(0), 0u);
+
+  // Three consecutive failures trip it open; calls fail fast.
+  breaker.RecordFailure(0, now);
+  breaker.RecordFailure(0, now);
+  breaker.RecordFailure(0, now);
+  EXPECT_EQ(breaker.state(0), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.AllowCall(0, now + 50));
+  // Shard 1 is untouched.
+  EXPECT_TRUE(breaker.AllowCall(1, now));
+
+  // Window elapsed: exactly one half-open probe gets through.
+  EXPECT_TRUE(breaker.AllowCall(0, now + 101));
+  EXPECT_EQ(breaker.state(0), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowCall(0, now + 102));  // probe already in flight
+
+  // The probe fails: re-open for a full window.
+  breaker.RecordFailure(0, now + 103);
+  EXPECT_EQ(breaker.state(0), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.AllowCall(0, now + 150));
+
+  // The next probe succeeds: closed again, calls flow without gating.
+  EXPECT_TRUE(breaker.AllowCall(0, now + 204));
+  breaker.RecordSuccess(0);
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowCall(0, now + 205));
+  EXPECT_TRUE(breaker.AllowCall(0, now + 205));
+}
+
+TEST(ShardTransport, RouterRetriesTransientFaults) {
+  ChainFixture f = MakeChain();
+  RouterOptions opts;
+  opts.partition.num_shards = 2;
+  opts.partition.strategy = PartitionStrategy::kContiguous;
+  opts.robustness.allow_degraded = false;  // crisp error assertions
+  FaultInjectionTransport* fault = nullptr;
+  opts.transport_decorator =
+      [&fault](std::unique_ptr<ShardTransport> inner)
+      -> std::unique_ptr<ShardTransport> {
+    auto t = std::make_unique<FaultInjectionTransport>(std::move(inner), 1);
+    fault = t.get();
+    return t;
+  };
+  ShardRouter router(f.graph, f.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+  ASSERT_NE(fault, nullptr);
+
+  // Shard 0's first two data-plane calls drop; the retry loop absorbs
+  // the storm and the decision is exact (and not marked degraded).
+  fault->AddSchedule({.shard = 0, .first_call = 0, .last_call = 1,
+                      .kind = FaultKind::kDrop});
+  const AccessRequest req{.requester = 1, .resource = f.res};
+  auto d = router.CheckAccess(req);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_TRUE(d->granted);
+  EXPECT_TRUE(d->degraded_reason.empty());
+  RouterCounters c = router.counters();
+  EXPECT_EQ(c.retries, 2u);
+  EXPECT_EQ(c.unavailable_errors, 0u);
+  EXPECT_EQ(fault->counters(0).drops, 2u);
+  // That check used exactly two shard-0 calls after the drops: the
+  // local-phase Check (attempt 3) and the phase-one walk.
+  EXPECT_EQ(fault->counters(0).calls, 4u);
+
+  // A storm longer than max_attempts exhausts the retries: an explicit
+  // kUnavailable, and three consecutive failures open the breaker.
+  fault->AddSchedule({.shard = 0, .first_call = 4, .last_call = 6,
+                      .kind = FaultKind::kDrop});
+  auto failed = router.CheckAccess(req);
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  c = router.counters();
+  EXPECT_EQ(c.unavailable_errors, 1u);
+  EXPECT_EQ(c.breaker_opens, 1u);
+  EXPECT_EQ(router.health().state(0), BreakerState::kOpen);
+
+  // While open, the router fails fast without touching the transport.
+  const uint64_t calls_before = fault->counters(0).calls;
+  auto fast = router.CheckAccess(req);
+  EXPECT_EQ(fast.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fault->counters(0).calls, calls_before);
+
+  // The open window elapses on the VIRTUAL clock; the half-open probe
+  // succeeds and service resumes.
+  fault->SleepMs(200);
+  auto recovered = router.CheckAccess(req);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->granted);
+  EXPECT_EQ(router.health().state(0), BreakerState::kClosed);
+
+  // A shard slower than the per-attempt deadline times out explicitly.
+  ShardFaultProfile slow;
+  slow.delay_probability = 1.0;
+  slow.delay_min_ms = 60;  // call_deadline_ms default is 50
+  slow.delay_max_ms = 60;
+  fault->SetProfile(0, slow);
+  auto timed_out = router.CheckAccess(req);
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  c = router.counters();
+  EXPECT_GE(c.timeouts, 3u);
+  // failed + the fail-fast check + this timeout, and nothing else.
+  EXPECT_EQ(c.unavailable_errors, 3u);
 }
 
 }  // namespace

@@ -28,6 +28,19 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(Status, EveryCodeHasAName) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(Status::Unavailable("shard 2 down").ToString(),
+            "UNAVAILABLE: shard 2 down");
+  EXPECT_EQ(Status::DeadlineExceeded("40ms budget").ToString(),
+            "DEADLINE_EXCEEDED: 40ms budget");
 }
 
 TEST(Status, Equality) {
