@@ -1,0 +1,248 @@
+#include "shard/executor_transport.h"
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "shard/shard_engine.h"
+
+namespace sargus {
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The steady-clock time_point for an absolute NowMs()-scale deadline.
+/// +1ms because NowMs truncates: the worker-side check is
+/// `NowMs() > deadline`, which first holds one full millisecond after
+/// the deadline tick began.
+std::chrono::steady_clock::time_point DeadlinePoint(uint64_t deadline_ms) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::milliseconds(deadline_ms + 1));
+}
+
+}  // namespace
+
+ThreadedTransport::ThreadedTransport(std::vector<ShardEngine*> engines,
+                                     ThreadedTransportOptions options)
+    : engines_(std::move(engines)), options_(std::move(options)) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.workers_per_shard == 0) options_.workers_per_shard = 1;
+  workers_.reserve(engines_.size());
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after every Worker exists: WorkerLoop indexes workers_.
+  for (uint32_t s = 0; s < engines_.size(); ++s) {
+    for (uint32_t w = 0; w < options_.workers_per_shard; ++w) {
+      workers_[s]->threads.emplace_back([this, s] { WorkerLoop(s); });
+    }
+  }
+}
+
+ThreadedTransport::~ThreadedTransport() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->shutdown = true;
+    }
+    w->nonempty.notify_all();
+    w->nonfull.notify_all();
+  }
+  for (auto& w : workers_) {
+    for (std::thread& t : w->threads) t.join();
+  }
+}
+
+ThreadedTransport::QueueStats ThreadedTransport::queue_stats(
+    uint32_t shard) const {
+  const Worker& w = *workers_[shard];
+  QueueStats s;
+  s.submitted = w.submitted.load(kRelaxed);
+  s.executed = w.executed.load(kRelaxed);
+  s.cancelled = w.cancelled.load(kRelaxed);
+  s.rejected = w.rejected.load(kRelaxed);
+  return s;
+}
+
+void ThreadedTransport::WorkerLoop(uint32_t shard) {
+  Worker& w = *workers_[shard];
+  for (;;) {
+    Job job;
+    bool aborted = false;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.nonempty.wait(lock, [&] { return w.shutdown || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // shutdown with nothing to drain
+      aborted = w.shutdown;
+      job = std::move(w.queue.front());
+      w.queue.pop_front();
+      w.nonfull.notify_one();
+    }
+    if (aborted) w.rejected.fetch_add(1, kRelaxed);
+    job.run(aborted);
+  }
+}
+
+bool ThreadedTransport::Enqueue(uint32_t shard, Job job, uint64_t deadline_ms,
+                                Status* why) {
+  Worker& w = *workers_[shard];
+  std::unique_lock<std::mutex> lock(w.mu);
+  while (!w.shutdown && w.queue.size() >= options_.queue_capacity) {
+    if (deadline_ms != 0) {
+      w.nonfull.wait_until(lock, DeadlinePoint(deadline_ms));
+      if (!w.shutdown && w.queue.size() >= options_.queue_capacity &&
+          SteadyNowMs() > deadline_ms) {
+        w.cancelled.fetch_add(1, kRelaxed);
+        *why = Status::DeadlineExceeded(
+            "transport: shard " + std::to_string(shard) +
+            " send queue full past deadline");
+        return false;
+      }
+    } else {
+      w.nonfull.wait(lock);
+    }
+  }
+  if (w.shutdown) {
+    w.rejected.fetch_add(1, kRelaxed);
+    *why = Status::Unavailable("transport shut down (shard " +
+                               std::to_string(shard) + ")");
+    return false;
+  }
+  w.queue.push_back(std::move(job));
+  w.submitted.fetch_add(1, kRelaxed);
+  w.nonempty.notify_one();
+  return true;
+}
+
+template <typename Reply, typename CallFn>
+TransportTicket<Reply> ThreadedTransport::SubmitImpl(
+    uint32_t shard, const TransportCallOptions& opts, bool caller_deadline,
+    CallFn call) {
+  auto promise = std::make_shared<std::promise<Result<Reply>>>();
+  auto future =
+      std::make_shared<std::future<Result<Reply>>>(promise->get_future());
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  Worker* w = workers_[shard].get();
+  Job job;
+  job.run = [this, shard, w, promise, cancelled, deadline = opts.deadline_ms,
+             call = std::move(call)](bool aborted) {
+    if (aborted) {
+      promise->set_value(Status::Unavailable(
+          "transport shut down before dispatch (shard " +
+          std::to_string(shard) + ")"));
+      return;
+    }
+    if (cancelled->load(std::memory_order_acquire) ||
+        (deadline != 0 && SteadyNowMs() > deadline)) {
+      w->cancelled.fetch_add(1, kRelaxed);
+      promise->set_value(Status::DeadlineExceeded(
+          "transport: call deadline passed before dispatch (shard " +
+          std::to_string(shard) + ")"));
+      return;
+    }
+    w->executed.fetch_add(1, kRelaxed);
+    if (options_.pre_dispatch_hook) options_.pre_dispatch_hook(shard);
+    promise->set_value(call());
+  };
+  Status why = OkStatus();
+  if (!Enqueue(shard, std::move(job), opts.deadline_ms, &why)) {
+    return TransportTicket<Reply>::Ready(std::move(why));
+  }
+  const uint64_t wait_deadline = caller_deadline ? opts.deadline_ms : 0;
+  return TransportTicket<Reply>::Deferred(
+      [shard, future, cancelled, wait_deadline]() -> Result<Reply> {
+        if (wait_deadline != 0 &&
+            future->wait_until(DeadlinePoint(wait_deadline)) ==
+                std::future_status::timeout) {
+          // Tell the worker not to bother; a job already mid-execution
+          // finishes into this (now abandoned) future.
+          cancelled->store(true, std::memory_order_release);
+          return Status::DeadlineExceeded(
+              "transport: call deadline passed awaiting shard " +
+              std::to_string(shard));
+        }
+        return future->get();
+      });
+}
+
+Result<wire::CheckReply> ThreadedTransport::Check(
+    uint32_t shard, const wire::CheckRequest& request,
+    const TransportCallOptions& opts) {
+  return SubmitCheck(shard, request, opts).Wait();
+}
+
+Result<wire::BatchCheckReply> ThreadedTransport::CheckBatch(
+    uint32_t shard, const wire::BatchCheckRequest& request,
+    const TransportCallOptions& opts) {
+  return SubmitBatch(shard, request, opts).Wait();
+}
+
+Result<wire::WalkReply> ThreadedTransport::ExpandFrontier(
+    uint32_t shard, const wire::WalkRequest& request,
+    const TransportCallOptions& opts) {
+  return SubmitWalk(shard, request, opts).Wait();
+}
+
+Result<wire::MutateReply> ThreadedTransport::Mutate(
+    uint32_t shard, const wire::MutateRequest& request,
+    const TransportCallOptions& opts) {
+  // caller_deadline=false: the deadline is enforced only worker-side,
+  // BEFORE the engine call, so an error reply always means the mutation
+  // was never applied (fail-stop-before-apply; see file comment).
+  return SubmitImpl<wire::MutateReply>(
+             shard, opts, /*caller_deadline=*/false,
+             [engine = engines_[shard],
+              req = request]() -> Result<wire::MutateReply> {
+               return engine->Mutate(req);
+             })
+      .Wait();
+}
+
+TransportTicket<wire::CheckReply> ThreadedTransport::SubmitCheck(
+    uint32_t shard, const wire::CheckRequest& request,
+    const TransportCallOptions& opts) {
+  return SubmitImpl<wire::CheckReply>(
+      shard, opts, /*caller_deadline=*/true,
+      [engine = engines_[shard],
+       req = request]() -> Result<wire::CheckReply> {
+        return engine->Check(req);
+      });
+}
+
+TransportTicket<wire::BatchCheckReply> ThreadedTransport::SubmitBatch(
+    uint32_t shard, const wire::BatchCheckRequest& request,
+    const TransportCallOptions& opts) {
+  return SubmitImpl<wire::BatchCheckReply>(
+      shard, opts, /*caller_deadline=*/true,
+      [engine = engines_[shard],
+       req = request]() -> Result<wire::BatchCheckReply> {
+        return engine->CheckBatch(req);
+      });
+}
+
+TransportTicket<wire::WalkReply> ThreadedTransport::SubmitWalk(
+    uint32_t shard, const wire::WalkRequest& request,
+    const TransportCallOptions& opts) {
+  return SubmitImpl<wire::WalkReply>(
+      shard, opts, /*caller_deadline=*/true,
+      [engine = engines_[shard],
+       req = request]() -> Result<wire::WalkReply> {
+        return engine->ExpandFrontier(req);
+      });
+}
+
+uint64_t ThreadedTransport::NowMs() { return SteadyNowMs(); }
+
+void ThreadedTransport::SleepMs(uint32_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace sargus

@@ -105,8 +105,13 @@ Status ShardRouter::Build() {
   std::vector<ShardEngine*> raw;
   raw.reserve(shards_.size());
   for (auto& shard : shards_) raw.push_back(shard.get());
-  std::unique_ptr<ShardTransport> base =
-      std::make_unique<InProcessTransport>(std::move(raw));
+  std::unique_ptr<ShardTransport> base;
+  if (options_.threaded_transport) {
+    base = std::make_unique<ThreadedTransport>(std::move(raw),
+                                               options_.executor);
+  } else {
+    base = std::make_unique<InProcessTransport>(std::move(raw));
+  }
   transport_ = options_.transport_decorator
                    ? options_.transport_decorator(std::move(base))
                    : std::move(base);
@@ -209,63 +214,103 @@ RouterCounters ShardRouter::counters() const {
   return c;
 }
 
-template <typename Reply, typename Fn>
-Result<Reply> ShardRouter::CallShard(uint32_t shard, Fn&& call) const {
+template <typename Reply, typename SubmitFn>
+ShardRouter::PendingCall<Reply> ShardRouter::BeginCall(uint32_t shard,
+                                                       uint64_t salt,
+                                                       SubmitFn&& submit) const {
   const RouterRobustnessOptions& rb = options_.robustness;
-  const uint64_t start = transport_->NowMs();
-  const uint64_t budget_deadline =
-      rb.op_budget_ms == 0 ? 0 : start + rb.op_budget_ms;
+  PendingCall<Reply> pc;
+  pc.shard = shard;
+  pc.salt = salt;
+  const uint64_t now = transport_->NowMs();
+  pc.budget_deadline = rb.op_budget_ms == 0 ? 0 : now + rb.op_budget_ms;
+  if (!health_->AllowCall(shard, now)) {
+    pc.early = Status::Unavailable("shard " + std::to_string(shard) +
+                                   ": circuit breaker open");
+    return pc;
+  }
+  TransportCallOptions opts;
+  if (rb.call_deadline_ms != 0) {
+    opts.deadline_ms = now + rb.call_deadline_ms;
+    if (pc.budget_deadline != 0 && opts.deadline_ms > pc.budget_deadline) {
+      opts.deadline_ms = pc.budget_deadline;
+    }
+  } else {
+    opts.deadline_ms = pc.budget_deadline;
+  }
+  pc.ticket = submit(opts);
+  return pc;
+}
+
+template <typename Reply, typename Fn>
+Result<Reply> ShardRouter::FinishCall(PendingCall<Reply>& pending,
+                                      Fn&& call) const {
+  const RouterRobustnessOptions& rb = options_.robustness;
+  if (pending.early.has_value()) return *pending.early;
+  const uint32_t shard = pending.shard;
   const uint32_t attempts = std::max<uint32_t>(1, rb.max_attempts);
   Status last = OkStatus();
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
-    const uint64_t now = transport_->NowMs();
-    if (budget_deadline != 0 && now > budget_deadline) {
-      counters_.timeouts.fetch_add(1, kRelaxed);
-      return Status::DeadlineExceeded(
-          "shard " + std::to_string(shard) + ": operation budget exhausted" +
-          (last.ok() ? "" : " (last attempt: " + last.ToString() + ")"));
-    }
-    if (!health_->AllowCall(shard, now)) {
-      return Status::Unavailable(
-          "shard " + std::to_string(shard) + ": circuit breaker open" +
-          (last.ok() ? "" : " (last attempt: " + last.ToString() + ")"));
-    }
-    if (attempt > 0) counters_.retries.fetch_add(1, kRelaxed);
-    TransportCallOptions opts;
-    if (rb.call_deadline_ms != 0) {
-      opts.deadline_ms = now + rb.call_deadline_ms;
-      if (budget_deadline != 0 && opts.deadline_ms > budget_deadline) {
-        opts.deadline_ms = budget_deadline;
-      }
+    std::optional<Result<Reply>> r;
+    if (attempt == 0) {
+      // Attempt 0 was submitted by BeginCall; collect it. On a serial
+      // transport the ticket is already resolved.
+      r = pending.ticket.Wait();
     } else {
-      opts.deadline_ms = budget_deadline;
+      const uint64_t now = transport_->NowMs();
+      if (pending.budget_deadline != 0 && now > pending.budget_deadline) {
+        counters_.timeouts.fetch_add(1, kRelaxed);
+        return Status::DeadlineExceeded(
+            "shard " + std::to_string(shard) + ": operation budget exhausted" +
+            (last.ok() ? "" : " (last attempt: " + last.ToString() + ")"));
+      }
+      if (!health_->AllowCall(shard, now)) {
+        return Status::Unavailable(
+            "shard " + std::to_string(shard) + ": circuit breaker open" +
+            (last.ok() ? "" : " (last attempt: " + last.ToString() + ")"));
+      }
+      counters_.retries.fetch_add(1, kRelaxed);
+      TransportCallOptions opts;
+      if (rb.call_deadline_ms != 0) {
+        opts.deadline_ms = now + rb.call_deadline_ms;
+        if (pending.budget_deadline != 0 &&
+            opts.deadline_ms > pending.budget_deadline) {
+          opts.deadline_ms = pending.budget_deadline;
+        }
+      } else {
+        opts.deadline_ms = pending.budget_deadline;
+      }
+      // Retries run synchronously on the gathering thread: by the time
+      // a retry is warranted the scatter is already collapsing, and a
+      // serial retry keeps the attempt ordering the breaker sees
+      // identical to the pre-scatter router's.
+      r = call(opts);
     }
-    Result<Reply> r = call(opts);
-    if (r.ok()) {
+    if (r->ok()) {
       // The transport worked; an in-band reply status is an answer,
       // not an infrastructure failure.
       health_->RecordSuccess(shard);
-      return r;
+      return std::move(*r);
     }
     health_->RecordFailure(shard, transport_->NowMs());
-    if (r.status().code() == StatusCode::kDeadlineExceeded) {
+    if (r->status().code() == StatusCode::kDeadlineExceeded) {
       counters_.timeouts.fetch_add(1, kRelaxed);
     }
-    last = r.status();
+    last = r->status();
     if (attempt + 1 < attempts) {
       uint64_t backoff = std::min<uint64_t>(
           uint64_t{rb.backoff_base_ms} << attempt, rb.backoff_max_ms);
       if (backoff > 0 && rb.backoff_jitter > 0) {
         // Deterministic jitter: a hash of (seed, shard, attempt, call
-        // sequence) so two retry storms never lockstep, yet a seeded
-        // run replays exactly.
-        const uint64_t h =
-            Mix64(rb.jitter_seed ^ (uint64_t{shard} << 40) ^
-                  (uint64_t{attempt} << 32) ^ call_seq_.fetch_add(1, kRelaxed));
+        // salt). The salt is content-derived, so concurrent retry
+        // storms jitter identically no matter how they interleave —
+        // yet distinct calls never lockstep.
+        const uint64_t h = Mix64(rb.jitter_seed ^ (uint64_t{shard} << 40) ^
+                                 (uint64_t{attempt} << 32) ^
+                                 Mix64(pending.salt));
         const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
-        backoff +=
-            static_cast<uint64_t>(static_cast<double>(backoff) *
-                                  rb.backoff_jitter * frac);
+        backoff += static_cast<uint64_t>(static_cast<double>(backoff) *
+                                         rb.backoff_jitter * frac);
       }
       if (backoff > 0) transport_->SleepMs(static_cast<uint32_t>(backoff));
     }
@@ -273,10 +318,23 @@ Result<Reply> ShardRouter::CallShard(uint32_t shard, Fn&& call) const {
   return last;
 }
 
+template <typename Reply, typename Fn>
+Result<Reply> ShardRouter::CallShard(uint32_t shard, uint64_t salt,
+                                     Fn&& call) const {
+  PendingCall<Reply> pc =
+      BeginCall<Reply>(shard, salt, [&](const TransportCallOptions& opts) {
+        return TransportTicket<Reply>::Ready(call(opts));
+      });
+  return FinishCall<Reply>(pc, call);
+}
+
 Result<wire::MutateReply> ShardRouter::CallMutate(
     uint32_t shard, const wire::MutateRequest& req) {
+  const uint64_t salt = (uint64_t{static_cast<uint8_t>(req.op)} << 56) ^
+                        (uint64_t{req.src} << 28) ^ (uint64_t{req.dst} << 8) ^
+                        req.label;
   return CallShard<wire::MutateReply>(
-      shard, [&](const TransportCallOptions& opts) {
+      shard, salt, [&](const TransportCallOptions& opts) {
         return transport_->Mutate(shard, req, opts);
       });
 }
@@ -287,7 +345,7 @@ Result<AccessDecision> ShardRouter::CheckAccess(
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
   counters_.checks.fetch_add(1, kRelaxed);
-  if (shards_.size() == 1 && !options_.transport_decorator) {
+  if (DirectSingleShard()) {
     // Passthrough: the decision carries the engine's own stamps. A
     // decorated (fault-injectable) transport disables the shortcut so
     // single-shard configurations exercise the full robust path.
@@ -340,8 +398,10 @@ Result<AccessDecision> ShardRouter::DecideMultiImpl(
   // A grant is authoritative — local edges are a subset of global edges
   // — and carries the witness when one was requested.
   const uint32_t owner_shard = topo->shard_of[res.owner];
+  const uint64_t check_salt =
+      (uint64_t{request.requester} << 32) ^ request.resource;
   const Result<wire::CheckReply> local_r = CallShard<wire::CheckReply>(
-      owner_shard, [&](const TransportCallOptions& opts) {
+      owner_shard, check_salt, [&](const TransportCallOptions& opts) {
         return transport_->Check(owner_shard, ToWire(request), opts);
       });
   if (!local_r.ok()) {
@@ -512,8 +572,10 @@ Result<bool> ShardRouter::PathReaches(const ShardTopology& topo, RuleId rule,
   phase1.seed = wire::WalkSeed::kOwnerStarts;
   phase1.owner = owner;
   const uint32_t owner_shard = topo.shard_of[owner];
+  const uint64_t walk_salt = (uint64_t{rule} << 48) ^ (uint64_t{path} << 40) ^
+                             (uint64_t{owner} << 20) ^ requester;
   const Result<wire::WalkReply> r1r = CallShard<wire::WalkReply>(
-      owner_shard, [&](const TransportCallOptions& opts) {
+      owner_shard, walk_salt, [&](const TransportCallOptions& opts) {
         return transport_->ExpandFrontier(owner_shard, phase1, opts);
       });
   if (!r1r.ok()) return r1r.status();
@@ -654,8 +716,11 @@ Result<ShardRouter::ComposeOutcome> ShardRouter::ComposeSummaries(
   fin.seed = wire::WalkSeed::kFrontier;
   fin.owner = owner;
   fin.frontier = std::move(final_seeds);
+  const uint64_t fin_salt = 0xF1A7ULL ^ (uint64_t{rule} << 48) ^
+                            (uint64_t{path} << 40) ^ (uint64_t{owner} << 20) ^
+                            requester;
   const Result<wire::WalkReply> rfr = CallShard<wire::WalkReply>(
-      req_shard, [&](const TransportCallOptions& opts) {
+      req_shard, fin_salt, [&](const TransportCallOptions& opts) {
         return transport_->ExpandFrontier(req_shard, fin, opts);
       });
   if (!rfr.ok()) return rfr.status();
@@ -673,12 +738,17 @@ Result<bool> ShardRouter::FallbackWalk(
     CrossStats& stats) const {
   stats.used_fallback = true;
   counters_.fallback_walks.fetch_add(1, kRelaxed);
+  const uint64_t base_salt = 0xFA11ULL ^ (uint64_t{rule} << 48) ^
+                             (uint64_t{path} << 40) ^ (uint64_t{owner} << 20) ^
+                             requester;
 
   // Two-phase rounds: every shard with pending entries walks once per
   // round; fresh exports only enter the NEXT round's pending sets, so a
-  // round's walks are independent of each other's results. The global
-  // processed set makes each (node, state) configuration cross a shard
-  // boundary at most once, which bounds the rounds.
+  // round's walks are independent of each other's results — which is
+  // exactly what lets one round SCATTER all its per-shard walks through
+  // the async transport surface and gather them at a barrier. The
+  // global processed set makes each (node, state) configuration cross a
+  // shard boundary at most once, which bounds the rounds.
   std::unordered_set<uint64_t> processed;
   std::vector<std::vector<wire::FrontierEntry>> pending(shards_.size());
   auto enqueue = [&](const wire::FrontierEntry& e,
@@ -691,45 +761,64 @@ Result<bool> ShardRouter::FallbackWalk(
 
   uint64_t rounds = 0;
   bool accepted = false;
-  while (!accepted) {
-    std::vector<std::vector<wire::FrontierEntry>> next(shards_.size());
-    bool any = false;
-    for (uint32_t s = 0; s < shards_.size() && !accepted; ++s) {
+  std::optional<Status> failure;
+  while (!accepted && !failure.has_value()) {
+    std::vector<wire::WalkRequest> reqs(shards_.size());
+    std::vector<uint32_t> active;
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
       if (pending[s].empty()) continue;
-      any = true;
-      wire::WalkRequest wr;
+      wire::WalkRequest& wr = reqs[s];
       wr.rule = rule;
       wr.path = path;
       wr.requester = requester;
       wr.seed = wire::WalkSeed::kFrontier;
       wr.owner = owner;
       wr.frontier = std::move(pending[s]);
-      const Result<wire::WalkReply> rr = CallShard<wire::WalkReply>(
-          s, [&](const TransportCallOptions& opts) {
-            return transport_->ExpandFrontier(s, wr, opts);
-          });
-      if (!rr.ok()) {
-        counters_.fallback_rounds.fetch_add(rounds, kRelaxed);
-        return rr.status();
-      }
-      const wire::WalkReply& r = *rr;
-      if (r.status_code != 0) {
-        counters_.fallback_rounds.fetch_add(rounds, kRelaxed);
-        return wire::UnpackStatus(r.status_code, r.error);
-      }
-      stats.pairs_visited += r.pairs_visited;
-      if (r.accepted != 0) {
-        accepted = true;
-        break;
-      }
-      for (const wire::FrontierEntry& e : r.exports) enqueue(e, next);
+      active.push_back(s);
     }
-    if (!any) break;
+    if (active.empty()) break;
     ++rounds;
+    // Scatter: submit every active shard's walk before gathering any.
+    std::vector<PendingCall<wire::WalkReply>> calls(active.size());
+    for (size_t k = 0; k < active.size(); ++k) {
+      const uint32_t s = active[k];
+      calls[k] = BeginCall<wire::WalkReply>(
+          s, base_salt ^ (rounds << 8), [&](const TransportCallOptions& opts) {
+            return transport_->SubmitWalk(s, reqs[s], opts);
+          });
+    }
+    // Barrier gather, ascending shard order: every ticket is resolved —
+    // even after an acceptance or failure — so no walk is abandoned
+    // mid-round, and the export merge order matches a serial transport
+    // exactly (the agreement wall relies on this).
+    std::vector<std::vector<wire::FrontierEntry>> next(shards_.size());
+    for (size_t k = 0; k < active.size(); ++k) {
+      const uint32_t s = active[k];
+      Result<wire::WalkReply> rr = FinishCall<wire::WalkReply>(
+          calls[k], [&](const TransportCallOptions& opts) {
+            return transport_->ExpandFrontier(s, reqs[s], opts);
+          });
+      const Status st = rr.ok()
+                            ? wire::UnpackStatus(rr->status_code, rr->error)
+                            : rr.status();
+      if (!st.ok()) {
+        if (!failure.has_value()) failure = st;
+        continue;
+      }
+      stats.pairs_visited += rr->pairs_visited;
+      if (rr->accepted != 0) {
+        accepted = true;
+      } else {
+        for (const wire::FrontierEntry& e : rr->exports) enqueue(e, next);
+      }
+    }
     pending = std::move(next);
   }
   counters_.fallback_rounds.fetch_add(rounds, kRelaxed);
-  return accepted;
+  if (accepted) return true;  // a live walk's accept is exact even if a
+                              // sibling shard faulted this round
+  if (failure.has_value()) return *failure;
+  return false;
 }
 
 std::vector<Result<AccessDecision>> ShardRouter::CheckAccessBatch(
@@ -744,7 +833,7 @@ std::vector<Result<AccessDecision>> ShardRouter::CheckAccessBatch(
     return out;
   }
   counters_.checks.fetch_add(requests.size(), kRelaxed);
-  if (shards_.size() == 1 && !options_.transport_decorator) {
+  if (DirectSingleShard()) {
     return shards_[0]->engine().CheckAccessBatch(requests);
   }
 
@@ -770,15 +859,43 @@ std::vector<Result<AccessDecision>> ShardRouter::CheckAccessBatch(
     }
     groups[topo->shard_of[resources_[r.resource].owner]].push_back(i);
   }
+  // Scatter: build every group's sub-batch, submit them all through the
+  // async transport surface, THEN gather in shard order. On the
+  // threaded transport the sub-batches execute concurrently, one worker
+  // per owner shard; on a serial transport the submits run inline and
+  // this is exactly the old one-group-at-a-time loop.
+  struct GroupCall {
+    uint32_t shard = 0;
+    wire::BatchCheckRequest batch;
+    PendingCall<wire::BatchCheckReply> pending;
+  };
+  std::vector<GroupCall> group_calls;
   for (uint32_t s = 0; s < groups.size(); ++s) {
     if (groups[s].empty()) continue;
-    wire::BatchCheckRequest batch;
-    batch.requests.reserve(groups[s].size());
-    for (uint32_t i : groups[s]) batch.requests.push_back(ToWire(requests[i]));
+    GroupCall gc;
+    gc.shard = s;
+    gc.batch.requests.reserve(groups[s].size());
+    for (uint32_t i : groups[s]) {
+      gc.batch.requests.push_back(ToWire(requests[i]));
+    }
+    group_calls.push_back(std::move(gc));
+  }
+  for (GroupCall& gc : group_calls) {
+    const wire::CheckRequest& head = gc.batch.requests.front();
+    const uint64_t salt = 0xBA7CULL ^ (uint64_t{gc.shard} << 48) ^
+                          (gc.batch.requests.size() << 36) ^
+                          (uint64_t{head.requester} << 18) ^ head.resource;
+    gc.pending = BeginCall<wire::BatchCheckReply>(
+        gc.shard, salt, [&](const TransportCallOptions& opts) {
+          return transport_->SubmitBatch(gc.shard, gc.batch, opts);
+        });
+  }
+  for (GroupCall& gc : group_calls) {
+    const uint32_t s = gc.shard;
     const Result<wire::BatchCheckReply> replies_r =
-        CallShard<wire::BatchCheckReply>(
-            s, [&](const TransportCallOptions& opts) {
-              return transport_->CheckBatch(s, batch, opts);
+        FinishCall<wire::BatchCheckReply>(
+            gc.pending, [&](const TransportCallOptions& opts) {
+              return transport_->CheckBatch(s, gc.batch, opts);
             });
     // A transport failure (or short reply) escalates every slot of the
     // group to the per-request procedure, which carries its own retry /
@@ -815,7 +932,7 @@ Status ShardRouter::AddEdge(NodeId src, NodeId dst, const std::string& label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1 && !options_.transport_decorator) {
+  if (DirectSingleShard()) {
     return shards_[0]->engine().AddEdge(src, dst, label);
   }
   const auto topo = topology();
@@ -837,7 +954,7 @@ Status ShardRouter::AddEdge(NodeId src, NodeId dst, LabelId label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1 && !options_.transport_decorator) {
+  if (DirectSingleShard()) {
     return shards_[0]->engine().AddEdge(src, dst, label);
   }
   const auto topo = topology();
@@ -898,7 +1015,7 @@ Status ShardRouter::RemoveEdge(NodeId src, NodeId dst,
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1 && !options_.transport_decorator) {
+  if (DirectSingleShard()) {
     return shards_[0]->engine().RemoveEdge(src, dst, label);
   }
   const LabelId id = master_graph_->labels().Lookup(label);
@@ -912,7 +1029,7 @@ Status ShardRouter::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
-  if (shards_.size() == 1 && !options_.transport_decorator) {
+  if (DirectSingleShard()) {
     return shards_[0]->engine().RemoveEdge(src, dst, label);
   }
   const auto topo = topology();

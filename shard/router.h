@@ -67,6 +67,7 @@
 #include "common/result.h"
 #include "engine/access_engine.h"
 #include "shard/boundary_summary.h"
+#include "shard/executor_transport.h"
 #include "shard/partitioner.h"
 #include "shard/shard_engine.h"
 #include "shard/topology.h"
@@ -124,6 +125,18 @@ struct RouterOptions {
   size_t max_composition_tests = size_t{1} << 20;
   /// Retry / breaker / degraded-serving policy.
   RouterRobustnessOptions robustness;
+  /// Put the thread-per-shard executor (shard/executor_transport.h)
+  /// behind the transport seam instead of the serial
+  /// InProcessTransport. CheckAccessBatch sub-batches and frontier-
+  /// exchange rounds then really run concurrently across shards (the
+  /// router scatters through Submit* and gathers in shard order, so
+  /// decisions are byte-identical to the serial transport's). Like a
+  /// transport_decorator, this disables the N == 1 direct passthrough
+  /// so single-shard configurations exercise the executor too.
+  bool threaded_transport = false;
+  /// Executor knobs (queue bounds, workers per shard, test hook) when
+  /// threaded_transport is set.
+  ThreadedTransportOptions executor;
   /// Wraps the router's transport at Build() — the seam the fault-
   /// injection tests use (wrap the InProcessTransport in a
   /// FaultInjectionTransport). When set, even an N == 1 router routes
@@ -298,14 +311,46 @@ class ShardRouter {
                             std::span<const wire::FrontierEntry> seeds,
                             CrossStats& stats) const;
 
-  /// One robust logical transport call: per-attempt deadlines, bounded
-  /// retries with jittered exponential backoff, circuit-breaker
-  /// consultation. `call` runs one attempt given its TransportCallOptions.
+  /// One logical transport call split into a scatter half and a gather
+  /// half, so fan-out paths can submit every shard's call before
+  /// waiting on any. BeginCall consults the circuit breaker, builds the
+  /// attempt-0 deadline, and submits; FinishCall waits the ticket and
+  /// runs the bounded retry loop (synchronously, via `call`) with
+  /// jittered exponential backoff on failure. `salt` feeds the jitter
+  /// hash and must be derived from the call's CONTENT (shard, request
+  /// identity), never shared mutable state, so concurrent retries
+  /// jitter deterministically regardless of interleaving.
+  template <typename Reply>
+  struct PendingCall {
+    uint32_t shard = 0;
+    uint64_t salt = 0;
+    uint64_t budget_deadline = 0;
+    /// Set when the call failed before submission (breaker open).
+    std::optional<Status> early;
+    TransportTicket<Reply> ticket;
+  };
+  template <typename Reply, typename SubmitFn>
+  PendingCall<Reply> BeginCall(uint32_t shard, uint64_t salt,
+                               SubmitFn&& submit) const;
   template <typename Reply, typename Fn>
-  Result<Reply> CallShard(uint32_t shard, Fn&& call) const;
+  Result<Reply> FinishCall(PendingCall<Reply>& pending, Fn&& call) const;
+
+  /// The serial composition of the two halves: one robust logical
+  /// transport call with per-attempt deadlines, bounded retries, and
+  /// circuit-breaker consultation. `call` runs one attempt given its
+  /// TransportCallOptions.
+  template <typename Reply, typename Fn>
+  Result<Reply> CallShard(uint32_t shard, uint64_t salt, Fn&& call) const;
 
   Result<wire::MutateReply> CallMutate(uint32_t shard,
                                        const wire::MutateRequest& req);
+
+  /// True when the router serves a single shard directly, bypassing the
+  /// transport (no decorator, no executor).
+  bool DirectSingleShard() const {
+    return shards_.size() == 1 && !options_.transport_decorator &&
+           !options_.threaded_transport;
+  }
 
   SocialGraph* master_graph_;
   const PolicyStore* master_store_;
@@ -348,8 +393,6 @@ class ShardRouter {
     // breaker_opens lives on the ShardHealthTracker.
   };
   mutable AtomicCounters counters_;
-  /// Per-call sequence for deterministic backoff jitter.
-  mutable std::atomic<uint64_t> call_seq_{0};
 };
 
 }  // namespace sargus

@@ -259,56 +259,92 @@ Result<Reply> FaultInjectionTransport::CorruptReply(uint32_t shard,
 Result<wire::CheckReply> FaultInjectionTransport::Check(
     uint32_t shard, const wire::CheckRequest& request,
     const TransportCallOptions& opts) {
-  const FaultKind fault = DrawFault(shard);
-  if (fault == FaultKind::kDrop) return DropStatus(shard);
-  if (fault == FaultKind::kErrorReply) return ErrorReplyStatus(shard);
-  SARGUS_RETURN_IF_ERROR(DeadlineStatus(shard, opts));
-  // The deadline was already enforced against THIS transport's (virtual)
-  // clock; the inner transport runs a different clock, so the deadline
-  // must not leak through (kNoInnerDeadline below likewise).
-  SARGUS_ASSIGN_OR_RETURN(wire::CheckReply reply,
-                          inner_->Check(shard, request, kNoInnerDeadline));
-  if (fault == FaultKind::kCorrupt) {
-    return CorruptReply(shard, reply, [](std::span<const uint8_t> b) {
-      return wire::DecodeCheckReply(b);
-    });
-  }
-  return reply;
+  return SubmitCheck(shard, request, opts).Wait();
 }
 
 Result<wire::BatchCheckReply> FaultInjectionTransport::CheckBatch(
     uint32_t shard, const wire::BatchCheckRequest& request,
     const TransportCallOptions& opts) {
-  const FaultKind fault = DrawFault(shard);
-  if (fault == FaultKind::kDrop) return DropStatus(shard);
-  if (fault == FaultKind::kErrorReply) return ErrorReplyStatus(shard);
-  SARGUS_RETURN_IF_ERROR(DeadlineStatus(shard, opts));
-  SARGUS_ASSIGN_OR_RETURN(wire::BatchCheckReply reply,
-                          inner_->CheckBatch(shard, request, kNoInnerDeadline));
-  if (fault == FaultKind::kCorrupt) {
-    return CorruptReply(shard, reply, [](std::span<const uint8_t> b) {
-      return wire::DecodeBatchCheckReply(b);
-    });
-  }
-  return reply;
+  return SubmitBatch(shard, request, opts).Wait();
 }
 
 Result<wire::WalkReply> FaultInjectionTransport::ExpandFrontier(
     uint32_t shard, const wire::WalkRequest& request,
     const TransportCallOptions& opts) {
+  return SubmitWalk(shard, request, opts).Wait();
+}
+
+TransportTicket<wire::CheckReply> FaultInjectionTransport::SubmitCheck(
+    uint32_t shard, const wire::CheckRequest& request,
+    const TransportCallOptions& opts) {
+  using Ticket = TransportTicket<wire::CheckReply>;
   const FaultKind fault = DrawFault(shard);
-  if (fault == FaultKind::kDrop) return DropStatus(shard);
-  if (fault == FaultKind::kErrorReply) return ErrorReplyStatus(shard);
-  SARGUS_RETURN_IF_ERROR(DeadlineStatus(shard, opts));
-  SARGUS_ASSIGN_OR_RETURN(
-      wire::WalkReply reply,
-      inner_->ExpandFrontier(shard, request, kNoInnerDeadline));
-  if (fault == FaultKind::kCorrupt) {
-    return CorruptReply(shard, reply, [](std::span<const uint8_t> b) {
-      return wire::DecodeWalkReply(b);
-    });
+  if (fault == FaultKind::kDrop) return Ticket::Ready(DropStatus(shard));
+  if (fault == FaultKind::kErrorReply) {
+    return Ticket::Ready(ErrorReplyStatus(shard));
   }
-  return reply;
+  if (Status s = DeadlineStatus(shard, opts); !s.ok()) {
+    return Ticket::Ready(std::move(s));
+  }
+  // The deadline was already enforced against THIS transport's (virtual)
+  // clock; the inner transport runs a different clock, so the deadline
+  // must not leak through (kNoInnerDeadline below likewise).
+  Ticket inner = inner_->SubmitCheck(shard, request, kNoInnerDeadline);
+  if (fault != FaultKind::kCorrupt) return inner;
+  return std::move(inner).Then(
+      [this, shard](Result<wire::CheckReply> r) -> Result<wire::CheckReply> {
+        if (!r.ok()) return r;
+        return CorruptReply(shard, *r, [](std::span<const uint8_t> b) {
+          return wire::DecodeCheckReply(b);
+        });
+      });
+}
+
+TransportTicket<wire::BatchCheckReply> FaultInjectionTransport::SubmitBatch(
+    uint32_t shard, const wire::BatchCheckRequest& request,
+    const TransportCallOptions& opts) {
+  using Ticket = TransportTicket<wire::BatchCheckReply>;
+  const FaultKind fault = DrawFault(shard);
+  if (fault == FaultKind::kDrop) return Ticket::Ready(DropStatus(shard));
+  if (fault == FaultKind::kErrorReply) {
+    return Ticket::Ready(ErrorReplyStatus(shard));
+  }
+  if (Status s = DeadlineStatus(shard, opts); !s.ok()) {
+    return Ticket::Ready(std::move(s));
+  }
+  Ticket inner = inner_->SubmitBatch(shard, request, kNoInnerDeadline);
+  if (fault != FaultKind::kCorrupt) return inner;
+  return std::move(inner).Then(
+      [this,
+       shard](Result<wire::BatchCheckReply> r) -> Result<wire::BatchCheckReply> {
+        if (!r.ok()) return r;
+        return CorruptReply(shard, *r, [](std::span<const uint8_t> b) {
+          return wire::DecodeBatchCheckReply(b);
+        });
+      });
+}
+
+TransportTicket<wire::WalkReply> FaultInjectionTransport::SubmitWalk(
+    uint32_t shard, const wire::WalkRequest& request,
+    const TransportCallOptions& opts) {
+  using Ticket = TransportTicket<wire::WalkReply>;
+  const FaultKind fault = DrawFault(shard);
+  if (fault == FaultKind::kDrop) return Ticket::Ready(DropStatus(shard));
+  if (fault == FaultKind::kErrorReply) {
+    return Ticket::Ready(ErrorReplyStatus(shard));
+  }
+  if (Status s = DeadlineStatus(shard, opts); !s.ok()) {
+    return Ticket::Ready(std::move(s));
+  }
+  Ticket inner = inner_->SubmitWalk(shard, request, kNoInnerDeadline);
+  if (fault != FaultKind::kCorrupt) return inner;
+  return std::move(inner).Then(
+      [this, shard](Result<wire::WalkReply> r) -> Result<wire::WalkReply> {
+        if (!r.ok()) return r;
+        return CorruptReply(shard, *r, [](std::span<const uint8_t> b) {
+          return wire::DecodeWalkReply(b);
+        });
+      });
 }
 
 Result<wire::MutateReply> FaultInjectionTransport::Mutate(

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -107,7 +108,11 @@ ChainFixture MakeChain() {
 
 // ---- Randomized fault storms vs the oracle ---------------------------------
 
-void RunChaosOracle(uint32_t num_shards) {
+// `threaded` swaps the serial InProcessTransport under the fault
+// decorator for the thread-per-shard ThreadedTransport: the same storm
+// now lands on genuinely concurrent scatter-gather sub-batches and
+// parallel frontier rounds, and every invariant must hold unchanged.
+void RunChaosOracle(uint32_t num_shards, bool threaded = false) {
   auto g = SmallBa(1000 + num_shards);
   ASSERT_TRUE(g.ok());
   Workload w = MakeWorkload(std::move(*g));
@@ -116,6 +121,7 @@ void RunChaosOracle(uint32_t num_shards) {
   RouterOptions opts;
   opts.partition.num_shards = num_shards;
   opts.partition.strategy = PartitionStrategy::kContiguous;
+  opts.threaded_transport = threaded;
   FaultInjectionTransport* fault = nullptr;
   InstallFaultSeam(opts, 0xC4A05 + num_shards, &fault);
   ShardRouter router(w.graph, w.store, opts);
@@ -240,6 +246,182 @@ TEST(ChaosOracle, RandomFaultSchedulesOneShard) { RunChaosOracle(1); }
 TEST(ChaosOracle, RandomFaultSchedulesTwoShards) { RunChaosOracle(2); }
 TEST(ChaosOracle, RandomFaultSchedulesFourShards) { RunChaosOracle(4); }
 TEST(ChaosOracle, RandomFaultSchedulesSevenShards) { RunChaosOracle(7); }
+
+// The same storms under real parallelism (chaos-under-parallelism).
+TEST(ShardParallelChaos, FaultStormsOneShardThreaded) {
+  RunChaosOracle(1, /*threaded=*/true);
+}
+TEST(ShardParallelChaos, FaultStormsTwoShardsThreaded) {
+  RunChaosOracle(2, /*threaded=*/true);
+}
+TEST(ShardParallelChaos, FaultStormsFourShardsThreaded) {
+  RunChaosOracle(4, /*threaded=*/true);
+}
+TEST(ShardParallelChaos, FaultStormsSevenShardsThreaded) {
+  RunChaosOracle(7, /*threaded=*/true);
+}
+
+// ---- One slow shard must not stall the rest of a batch ---------------------
+
+TEST(ShardParallelChaos, SlowShardDoesNotStallOtherSubBatches) {
+  // Four shards with no cross-shard edges: every check is concluded
+  // entirely on its owner's shard, so the shards' sub-batches are
+  // independent. Shard 0's worker sleeps far past the per-attempt
+  // deadline on every dispatch; the other shards' slots must still
+  // complete exactly, and the whole batch must return well within ONE
+  // slow-shard sleep — proof the sub-batches really ran concurrently
+  // and the router abandoned the stuck shard at its deadline instead
+  // of serializing behind it.
+  constexpr uint32_t kShards = 4;
+  constexpr uint64_t kSleepMs = 600;
+  SocialGraph g;
+  g.AddNodes(40);  // contiguous: nodes [10s, 10s+9] land on shard s
+  PolicyStore store;
+  std::vector<ResourceId> res;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    const NodeId owner = static_cast<NodeId>(10 * s);
+    ASSERT_TRUE(g.AddEdge(owner, owner + 1, "friend").ok());
+    const ResourceId r =
+        store.RegisterResource(owner, "res" + std::to_string(s));
+    ASSERT_TRUE(store.AddRuleFromPaths(r, {"friend[1,2]"}).ok());
+    res.push_back(r);
+  }
+
+  RouterOptions opts;
+  opts.partition.num_shards = kShards;
+  opts.partition.strategy = PartitionStrategy::kContiguous;
+  opts.threaded_transport = true;
+  opts.robustness.call_deadline_ms = 40;
+  opts.robustness.op_budget_ms = 120;
+  opts.robustness.max_attempts = 1;  // a retry would just re-wait
+  opts.robustness.allow_degraded = false;
+  std::atomic<uint64_t> slow_dispatches{0};
+  opts.executor.pre_dispatch_hook = [&](uint32_t shard) {
+    if (shard == 0) {
+      slow_dispatches.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(kSleepMs));
+    }
+  };
+  ShardRouter router(g, store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  std::vector<AccessRequest> batch;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    const NodeId owner = static_cast<NodeId>(10 * s);
+    batch.push_back({.requester = owner + 1, .resource = res[s]});  // grant
+    batch.push_back({.requester = owner + 2, .resource = res[s]});  // deny
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto decisions = router.CheckAccessBatch(batch);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(decisions.size(), batch.size());
+
+  // Shard 0's slots: explicit transport errors, never a guess.
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(decisions[i].ok()) << "slot " << i;
+    EXPECT_TRUE(IsTransportCode(decisions[i].status().code()))
+        << decisions[i].status().ToString();
+  }
+  // Every other shard's slots: exact answers.
+  for (uint32_t s = 1; s < kShards; ++s) {
+    const auto& grant = decisions[2 * s];
+    const auto& deny = decisions[2 * s + 1];
+    ASSERT_TRUE(grant.ok()) << grant.status().ToString();
+    EXPECT_TRUE(grant->granted);
+    ASSERT_TRUE(deny.ok()) << deny.status().ToString();
+    EXPECT_FALSE(deny->granted);
+  }
+  // The wall: the batch returned while shard 0's worker was still
+  // asleep — nothing waited the sleep out.
+  EXPECT_LT(elapsed_ms, static_cast<int64_t>(kSleepMs));
+  EXPECT_GE(slow_dispatches.load(), 1u);
+  EXPECT_GT(router.counters().timeouts, 0u);
+}
+
+// ---- Multi-reader fan-out under faults (TSan target) -----------------------
+
+TEST(ShardParallelStress, ReadersFanOutFaultsAndWriter) {
+  // Reader threads drive scatter-gather batches through the threaded
+  // executor (caller threads racing per-shard workers) while injected
+  // faults flip outcomes and one writer mutates, blacks out shards, and
+  // refreshes summaries. The assertions are the chaos invariants; the
+  // real assertion is TSan reporting zero races across the executor's
+  // queues, tickets, and the router's scatter state.
+  auto g = SmallBa(29);
+  ASSERT_TRUE(g.ok());
+  Workload w = MakeWorkload(std::move(*g));
+  RouterOptions opts;
+  opts.partition.num_shards = 4;
+  opts.threaded_transport = true;
+  FaultInjectionTransport* fault = nullptr;
+  InstallFaultSeam(opts, 77, &fault);
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  ShardFaultProfile p;
+  p.delay_probability = 0.15;
+  p.drop_probability = 0.05;
+  p.error_probability = 0.05;
+  p.corrupt_probability = 0.05;
+  for (uint32_t s = 0; s < 4; ++s) fault->SetProfile(s, p);
+
+  const size_t n = router.topology()->shard_of.size();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(3000 + t);
+      std::vector<AccessRequest> batch;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Mostly batches: the point is concurrent fan-out, so several
+        // caller threads should be scattering sub-batches at once.
+        batch.clear();
+        const size_t slots = 2 + rng.NextBounded(8);
+        for (size_t i = 0; i < slots; ++i) {
+          batch.push_back(
+              {.requester = static_cast<NodeId>(rng.NextBounded(n)),
+               .resource =
+                   w.resources[rng.NextBounded(w.resources.size())]});
+        }
+        for (const auto& d : router.CheckAccessBatch(batch)) {
+          EXPECT_TRUE(d.ok() || IsTransportCode(d.status().code()))
+              << d.status().ToString();
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  {
+    Rng rng(42);
+    for (int step = 0; step < 60; ++step) {
+      const uint32_t dark = static_cast<uint32_t>(step % 4);
+      if (step % 5 == 0) fault->Blackout(dark, true);
+      const NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+      const NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+      if (a != b) {
+        const Status st = (step % 3 == 2)
+                              ? router.RemoveEdge(a, b, "friend")
+                              : router.AddEdge(a, b, "friend");
+        EXPECT_NE(st.code(), StatusCode::kInternal) << st.ToString();
+      }
+      if (step % 5 == 0) fault->Blackout(dark, false);
+      if (step % 10 == 9) ASSERT_TRUE(router.RefreshSummaries().ok());
+    }
+  }
+  while (reads.load(std::memory_order_relaxed) < 100) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(router.counters().checks, 0u);
+}
 
 // ---- Blackout: degraded serving, explicit refusals, recovery ---------------
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,7 @@
 
 #include "common/rng.h"
 #include "engine/access_engine.h"
+#include "shard/executor_transport.h"
 #include "shard/partitioner.h"
 #include "shard/router.h"
 #include "shard/wire.h"
@@ -1024,6 +1026,384 @@ TEST(ShardTransport, RouterRetriesTransientFaults) {
   EXPECT_GE(c.timeouts, 3u);
   // failed + the fail-fast check + this timeout, and nothing else.
   EXPECT_EQ(c.unavailable_errors, 3u);
+}
+
+// ---- Threaded executor transport: direct unit coverage ---------------------
+
+TEST(ShardTransport, ThreadedExecutorMatchesSyncAndCountsQueue) {
+  auto g = SmallEr(31);
+  ASSERT_TRUE(g.ok());
+  Workload w = MakeWorkload(std::move(*g));
+  RouterOptions opts;
+  opts.partition.num_shards = 2;
+  ShardRouter router(w.graph, w.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  ThreadedTransport transport({&router.shard(0), &router.shard(1)});
+  ASSERT_EQ(transport.num_shards(), 2u);
+
+  // Sync calls through the executor return exactly what the engine
+  // returns directly.
+  const wire::CheckRequest req =
+      ToWire(AccessRequest{.requester = 9, .resource = w.resources[0]});
+  for (uint32_t s = 0; s < 2; ++s) {
+    const wire::CheckReply direct = router.shard(s).Check(req);
+    auto through = transport.Check(s, req, {});
+    ASSERT_TRUE(through.ok()) << through.status().ToString();
+    EXPECT_EQ(*through, direct);
+  }
+
+  // The async surface: scatter one ticket per shard, then gather — the
+  // replies are the same ones the sync path produces.
+  wire::BatchCheckRequest breq;
+  for (int i = 0; i < 5; ++i) {
+    breq.requests.push_back(ToWire(AccessRequest{
+        .requester = static_cast<NodeId>(i),
+        .resource = w.resources[static_cast<size_t>(i) % w.resources.size()]}));
+  }
+  auto t0 = transport.SubmitBatch(0, breq, {});
+  auto t1 = transport.SubmitBatch(1, breq, {});
+  ASSERT_TRUE(t0.valid());
+  ASSERT_TRUE(t1.valid());
+  auto r0 = t0.Wait();
+  auto r1 = t1.Wait();
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r0, router.shard(0).CheckBatch(breq));
+  EXPECT_EQ(*r1, router.shard(1).CheckBatch(breq));
+
+  // A deadline already in the past never reaches the engine: the job is
+  // refused worker-side (or submit-side) as an explicit timeout.
+  TransportCallOptions past;
+  past.deadline_ms = 1;
+  EXPECT_EQ(transport.Check(0, req, past).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  // Queue accounting: everything submitted was either executed or
+  // cancelled, and the past-deadline call shows up as a cancellation.
+  // The caller-side timeout returns before the worker books the drop,
+  // so give the queue a moment to drain.
+  ThreadedTransport::QueueStats stats = transport.queue_stats(0);
+  for (int spin = 0;
+       spin < 2000 && stats.submitted != stats.executed + stats.cancelled;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = transport.queue_stats(0);
+  }
+  EXPECT_GT(stats.submitted, 0u);
+  EXPECT_GT(stats.executed, 0u);
+  EXPECT_GE(stats.cancelled, 1u);
+  EXPECT_EQ(stats.submitted, stats.executed + stats.cancelled);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ShardTransport, ThreadedExecutorMutateIsFailStop) {
+  ChainFixture f = MakeChain();
+  RouterOptions opts;
+  opts.partition.num_shards = 2;
+  opts.partition.strategy = PartitionStrategy::kContiguous;
+  ShardRouter router(f.graph, f.store, opts);
+  ASSERT_TRUE(router.Build().ok());
+
+  ThreadedTransport transport({&router.shard(0), &router.shard(1)});
+  const wire::Stamp before = router.shard(0).ViewStamp();
+
+  // A mutation whose deadline has already passed is refused BEFORE the
+  // engine call — the shard's published state must not move.
+  wire::MutateRequest mreq;
+  mreq.op = wire::MutateOp::kAddEdge;
+  mreq.src = 1;
+  mreq.dst = 2;
+  mreq.label_name = "friend";
+  TransportCallOptions past;
+  past.deadline_ms = 1;
+  EXPECT_EQ(transport.Mutate(0, mreq, past).status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(router.shard(0).ViewStamp(), before);
+
+  // Without a deadline the same mutation applies and the stamp moves.
+  auto ok = transport.Mutate(0, mreq, {});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->status_code, 0);
+  EXPECT_NE(router.shard(0).ViewStamp(), before);
+}
+
+// ---- Backoff jitter: a pure function of call content -----------------------
+
+TEST(ShardTransport, BackoffJitterIgnoresUnrelatedTraffic) {
+  // The retry backoff jitter must be derived from the call's CONTENT
+  // (shard, request identity, attempt) — never from a router-wide draw
+  // counter — or concurrent fan-out would reshuffle every later draw
+  // and identical runs would sleep differently. Observable form: the
+  // virtual-clock cost of absorbing the same two-drop storm for the
+  // same request is identical no matter how much unrelated traffic ran
+  // first.
+  auto run = [](int warmup_checks) -> uint64_t {
+    ChainFixture f = MakeChain();
+    RouterOptions opts;
+    opts.partition.num_shards = 2;
+    opts.partition.strategy = PartitionStrategy::kContiguous;
+    opts.robustness.allow_degraded = false;
+    opts.robustness.backoff_base_ms = 8;
+    opts.robustness.backoff_max_ms = 64;
+    opts.robustness.backoff_jitter = 0.9;  // big enough to see a reshuffle
+    FaultInjectionTransport* fault = nullptr;
+    opts.transport_decorator =
+        [&fault](std::unique_ptr<ShardTransport> inner)
+        -> std::unique_ptr<ShardTransport> {
+      auto t = std::make_unique<FaultInjectionTransport>(std::move(inner), 1);
+      fault = t.get();
+      return t;
+    };
+    ShardRouter router(f.graph, f.store, opts);
+    EXPECT_TRUE(router.Build().ok());
+    if (fault == nullptr) return 0;
+
+    // Unrelated fault-free traffic (used to advance the shared jitter
+    // sequence; must be irrelevant now).
+    for (int i = 0; i < warmup_checks; ++i) {
+      auto d = router.CheckAccess({.requester = 6, .resource = f.res});
+      EXPECT_TRUE(d.ok()) << d.status().ToString();
+    }
+
+    // Drop the measured call's first two shard-0 attempts; the two
+    // backoff sleeps land on the decorator's virtual clock.
+    const uint64_t calls = fault->counters(0).calls;
+    fault->AddSchedule({.shard = 0, .first_call = calls,
+                        .last_call = calls + 1, .kind = FaultKind::kDrop});
+    const uint64_t before = fault->NowMs();
+    auto d = router.CheckAccess({.requester = 1, .resource = f.res});
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    if (d.ok()) EXPECT_TRUE(d->granted);
+    return fault->NowMs() - before;
+  };
+
+  const uint64_t quiet = run(0);
+  EXPECT_GT(quiet, 0u);            // the two backoffs really slept
+  EXPECT_EQ(run(0), quiet);        // repeatable from scratch
+  EXPECT_EQ(run(7), quiet);        // …and independent of prior traffic
+  EXPECT_EQ(run(23), quiet);
+}
+
+// ---- Parallel fan-out: serial-vs-threaded agreement wall -------------------
+
+// Byte-level agreement between the serial (InProcessTransport) and the
+// threaded (ThreadedTransport) router: not just the verdict but every
+// field a caller can see — stamps, witness, matched rule, evaluator,
+// work counters. Both routers run the identical scatter-gather code
+// over the identical call sets, so anything short of byte-identity is
+// a concurrency bug.
+void ExpectIdenticalDecision(const Result<AccessDecision>& threaded,
+                             const Result<AccessDecision>& serial,
+                             const std::string& context) {
+  ASSERT_EQ(threaded.ok(), serial.ok())
+      << context << " threaded=" << threaded.status().ToString()
+      << " serial=" << serial.status().ToString();
+  if (!threaded.ok()) {
+    EXPECT_EQ(threaded.status().code(), serial.status().code()) << context;
+    return;
+  }
+  EXPECT_EQ(threaded->granted, serial->granted) << context;
+  EXPECT_EQ(threaded->owner_access, serial->owner_access) << context;
+  EXPECT_EQ(threaded->matched_rule, serial->matched_rule) << context;
+  EXPECT_EQ(threaded->witness, serial->witness) << context;
+  EXPECT_EQ(threaded->evaluator_name, serial->evaluator_name) << context;
+  EXPECT_EQ(threaded->snapshot_generation, serial->snapshot_generation)
+      << context;
+  EXPECT_EQ(threaded->overlay_version, serial->overlay_version) << context;
+  EXPECT_EQ(threaded->degraded_reason, serial->degraded_reason) << context;
+  EXPECT_EQ(threaded->stats.pairs_visited, serial->stats.pairs_visited)
+      << context;
+}
+
+void RunParallelAgreement(Result<SocialGraph> generated,
+                          PartitionStrategy strategy, uint32_t num_shards,
+                          const std::string& tag) {
+  ASSERT_TRUE(generated.ok());
+  Workload w = MakeWorkload(std::move(*generated));
+  SocialGraph threaded_graph = w.graph;  // copies before partitioning
+  SocialGraph oracle_graph = w.graph;
+
+  RouterOptions base;
+  base.partition.num_shards = num_shards;
+  base.partition.strategy = strategy;
+  // No per-attempt deadlines: a loaded CI box must not turn a slow
+  // scheduler tick into a spurious timeout on either side.
+  base.robustness.call_deadline_ms = 0;
+  base.robustness.op_budget_ms = 0;
+
+  RouterOptions serial_opts = base;
+  // Identity decorator: routes even an N == 1 serial router through the
+  // transport, mirroring how threaded_transport disables passthrough —
+  // the two sides must take the same code path everywhere.
+  serial_opts.transport_decorator =
+      [](std::unique_ptr<ShardTransport> inner)
+      -> std::unique_ptr<ShardTransport> { return inner; };
+  RouterOptions threaded_opts = base;
+  threaded_opts.threaded_transport = true;
+
+  ShardRouter serial_router(w.graph, w.store, serial_opts);
+  ASSERT_TRUE(serial_router.Build().ok()) << tag;
+  ShardRouter threaded_router(threaded_graph, w.store, threaded_opts);
+  ASSERT_TRUE(threaded_router.Build().ok()) << tag;
+  AccessControlEngine oracle(oracle_graph, w.store);
+  ASSERT_TRUE(oracle.RebuildIndexes().ok());
+
+  const size_t n = oracle_graph.NumNodes();
+  Rng rng(0xFA40 ^ num_shards);
+  auto compare_singles = [&](int rounds, const std::string& phase) {
+    for (int i = 0; i < rounds; ++i) {
+      AccessRequest req;
+      req.requester = static_cast<NodeId>(rng.NextBounded(n));
+      req.resource = w.resources[rng.NextBounded(w.resources.size())];
+      req.want_witness = (i % 3 == 0);
+      const std::string ctx = tag + "/" + phase + " slot " +
+                              std::to_string(i) +
+                              " requester=" + std::to_string(req.requester) +
+                              " resource=" + std::to_string(req.resource);
+      const auto t = threaded_router.CheckAccess(req);
+      ExpectIdenticalDecision(t, serial_router.CheckAccess(req), ctx);
+      ExpectAgrees(t, oracle.CheckAccess(req), ctx + " (oracle)");
+    }
+  };
+  auto compare_batch = [&](const std::string& phase) {
+    std::vector<AccessRequest> batch;
+    for (int i = 0; i < 48; ++i) {
+      batch.push_back(
+          {.requester = static_cast<NodeId>(rng.NextBounded(n)),
+           .resource = w.resources[rng.NextBounded(w.resources.size())],
+           .want_witness = (i % 4 == 0)});
+    }
+    const auto threaded = threaded_router.CheckAccessBatch(batch);
+    const auto serial = serial_router.CheckAccessBatch(batch);
+    ASSERT_EQ(threaded.size(), batch.size()) << tag;
+    ASSERT_EQ(serial.size(), batch.size()) << tag;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const std::string ctx =
+          tag + "/" + phase + " batch slot " + std::to_string(i);
+      ExpectIdenticalDecision(threaded[i], serial[i], ctx);
+      ExpectAgrees(threaded[i], oracle.CheckAccess(batch[i]),
+                   ctx + " (oracle)");
+    }
+  };
+
+  compare_singles(90, "initial");
+  compare_batch("initial");
+
+  // Mid-stream mutations, preferring cross-cut edges, mirrored into all
+  // three: the stamps keep moving in lockstep.
+  const auto topo = serial_router.topology();
+  std::vector<std::pair<NodeId, NodeId>> added;
+  for (int t = 0; t < 400 && added.size() < 6; ++t) {
+    const NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+    if (a == b) continue;
+    if (num_shards > 1 && topo->shard_of[a] == topo->shard_of[b]) continue;
+    ASSERT_TRUE(serial_router.AddEdge(a, b, "friend").ok()) << tag;
+    ASSERT_TRUE(threaded_router.AddEdge(a, b, "friend").ok()) << tag;
+    ASSERT_TRUE(oracle.AddEdge(a, b, "friend").ok());
+    added.push_back({a, b});
+  }
+  EXPECT_FALSE(added.empty()) << tag;
+  compare_singles(60, "after-add");
+  compare_batch("after-add");
+
+  for (size_t i = 0; i < added.size(); i += 2) {
+    ASSERT_TRUE(
+        serial_router.RemoveEdge(added[i].first, added[i].second, "friend")
+            .ok())
+        << tag;
+    ASSERT_TRUE(
+        threaded_router.RemoveEdge(added[i].first, added[i].second, "friend")
+            .ok())
+        << tag;
+    ASSERT_TRUE(
+        oracle.RemoveEdge(added[i].first, added[i].second, "friend").ok());
+  }
+  compare_singles(60, "after-remove");
+
+  ASSERT_TRUE(serial_router.RefreshSummaries().ok()) << tag;
+  ASSERT_TRUE(threaded_router.RefreshSummaries().ok()) << tag;
+  compare_singles(40, "after-refresh");
+  compare_batch("after-refresh");
+
+  // The routers agree they did the same amount of work, not just that
+  // they reached the same verdicts.
+  const RouterCounters sc = serial_router.counters();
+  const RouterCounters tc = threaded_router.counters();
+  EXPECT_EQ(tc.checks, sc.checks) << tag;
+  EXPECT_EQ(tc.cross_shard_checks, sc.cross_shard_checks) << tag;
+  EXPECT_EQ(tc.local_conclusive, sc.local_conclusive) << tag;
+  EXPECT_EQ(tc.summary_resolved, sc.summary_resolved) << tag;
+  EXPECT_EQ(tc.fallback_walks, sc.fallback_walks) << tag;
+  EXPECT_EQ(tc.fallback_rounds, sc.fallback_rounds) << tag;
+  EXPECT_EQ(tc.retries, sc.retries) << tag;
+  EXPECT_EQ(tc.unavailable_errors, sc.unavailable_errors) << tag;
+}
+
+TEST(ShardParallelAgreement, ErdosRenyiContiguous) {
+  for (uint32_t shards : {1u, 2u, 4u, 7u}) {
+    RunParallelAgreement(SmallEr(40 + shards), PartitionStrategy::kContiguous,
+                         shards, "er/contig/" + std::to_string(shards));
+  }
+}
+
+TEST(ShardParallelAgreement, BarabasiAlbertContiguous) {
+  for (uint32_t shards : {1u, 2u, 4u, 7u}) {
+    RunParallelAgreement(SmallBa(40 + shards), PartitionStrategy::kContiguous,
+                         shards, "ba/contig/" + std::to_string(shards));
+  }
+}
+
+TEST(ShardParallelAgreement, WattsStrogatzCommunity) {
+  for (uint32_t shards : {1u, 2u, 4u, 7u}) {
+    RunParallelAgreement(SmallWs(40 + shards), PartitionStrategy::kCommunity,
+                         shards, "ws/community/" + std::to_string(shards));
+  }
+}
+
+TEST(ShardParallelAgreement, NoSummariesForcesParallelFallbackRounds) {
+  // With summaries disabled every cross-shard path takes the frontier-
+  // exchange fallback, whose rounds now scatter all shards in parallel
+  // — the hardest surface to keep byte-identical.
+  auto run = [](bool threaded) {
+    auto g = SmallBa(99);
+    EXPECT_TRUE(g.ok());
+    auto w = std::make_unique<Workload>(MakeWorkload(std::move(*g)));
+    RouterOptions opts;
+    opts.partition.num_shards = 4;
+    opts.partition.strategy = PartitionStrategy::kCommunity;
+    opts.build_summaries = false;
+    opts.robustness.call_deadline_ms = 0;
+    opts.robustness.op_budget_ms = 0;
+    opts.threaded_transport = threaded;
+    if (!threaded) {
+      opts.transport_decorator =
+          [](std::unique_ptr<ShardTransport> inner)
+          -> std::unique_ptr<ShardTransport> { return inner; };
+    }
+    auto router = std::make_unique<ShardRouter>(w->graph, w->store, opts);
+    EXPECT_TRUE(router->Build().ok());
+    return std::make_pair(std::move(w), std::move(router));
+  };
+  auto [sw, serial] = run(false);
+  auto [tw, threaded] = run(true);
+
+  Rng rng(5);
+  const size_t n = sw->graph.NumNodes();
+  for (int i = 0; i < 150; ++i) {
+    AccessRequest req;
+    req.requester = static_cast<NodeId>(rng.NextBounded(n));
+    req.resource = sw->resources[rng.NextBounded(sw->resources.size())];
+    ExpectIdenticalDecision(threaded->CheckAccess(req),
+                            serial->CheckAccess(req),
+                            "nosummary slot " + std::to_string(i));
+  }
+  const RouterCounters sc = serial->counters();
+  const RouterCounters tc = threaded->counters();
+  EXPECT_GT(tc.fallback_walks, 0u);
+  EXPECT_EQ(tc.fallback_walks, sc.fallback_walks);
+  EXPECT_EQ(tc.fallback_rounds, sc.fallback_rounds);
 }
 
 }  // namespace
