@@ -37,6 +37,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kUnavailable = 8,
   kDeadlineExceeded = 9,
+  kDataLoss = 10,
 };
 
 /// Returns the canonical name ("INVALID_ARGUMENT", ...) for a code.
@@ -76,6 +77,10 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Bytes on disk (or the wire) failed a checksum or framing check.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

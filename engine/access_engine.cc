@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/file_util.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_loader.h"
+
 namespace sargus {
 
 namespace {
@@ -10,6 +14,13 @@ namespace {
 uint64_t NextEngineId() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string BundlePath(const std::string& dir) {
+  return dir + "/" + storage::kSnapshotFileName;
+}
+std::string WalPath(const std::string& dir) {
+  return dir + "/" + storage::kWalFileName;
 }
 
 /// Per-thread acquire cache: one entry is enough, because a serving
@@ -130,6 +141,11 @@ Status AccessControlEngine::RebuildIndexesLocked() {
   snapshot_generation_.fetch_add(1, std::memory_order_release);
   RecomputeEffectiveThreshold();
   PublishView();
+  if (durable_ && durability_.snapshot_on_compaction) {
+    // The WAL's records (and the old bundle) describe state this rebuild
+    // just discarded; publish a bundle covering the fresh snapshot.
+    SARGUS_RETURN_IF_ERROR(SaveSnapshotLocked());
+  }
   return OkStatus();
 }
 
@@ -148,7 +164,14 @@ Status AccessControlEngine::RefreshPolicies() {
     return Status::FailedPrecondition(
         "RefreshPolicies: call RebuildIndexes() first");
   }
-  if (RefreshPolicySnapshotIfStale()) PublishView();
+  if (RefreshPolicySnapshotIfStale()) {
+    PublishView();
+    // Ordering marker only — policies themselves are not persisted; a
+    // recovery replays this as a RefreshPolicies against the caller's
+    // re-registered store.
+    SARGUS_RETURN_IF_ERROR(WalLogLocked(storage::WalRecord::Kind::kPolicyRefresh,
+                                        0, 0, kInvalidLabel));
+  }
   return OkStatus();
 }
 
@@ -198,6 +221,8 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst,
     }
   }
   SARGUS_RETURN_IF_ERROR(StageAddEdge(src, dst, id));
+  SARGUS_RETURN_IF_ERROR(
+      WalLogLocked(storage::WalRecord::Kind::kAddEdge, src, dst, id));
   return FinishMutation();
 }
 
@@ -208,6 +233,8 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
     return Status::InvalidArgument("AddEdge: unknown label id");
   }
   SARGUS_RETURN_IF_ERROR(StageAddEdge(src, dst, label));
+  SARGUS_RETURN_IF_ERROR(
+      WalLogLocked(storage::WalRecord::Kind::kAddEdge, src, dst, label));
   return FinishMutation();
 }
 
@@ -220,6 +247,8 @@ Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
     return Status::NotFound("RemoveEdge: unknown label '" + label + "'");
   }
   SARGUS_RETURN_IF_ERROR(StageRemoveEdge(src, dst, id));
+  SARGUS_RETURN_IF_ERROR(
+      WalLogLocked(storage::WalRecord::Kind::kRemoveEdge, src, dst, id));
   return FinishMutation();
 }
 
@@ -230,6 +259,8 @@ Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
     return Status::NotFound("RemoveEdge: unknown label id");
   }
   SARGUS_RETURN_IF_ERROR(StageRemoveEdge(src, dst, label));
+  SARGUS_RETURN_IF_ERROR(
+      WalLogLocked(storage::WalRecord::Kind::kRemoveEdge, src, dst, label));
   return FinishMutation();
 }
 
@@ -241,14 +272,34 @@ Result<NodeId> AccessControlEngine::AddNode() {
   if (building_) {
     journal_.push_back({JournalOp::Kind::kAddNode, 0, 0, kInvalidLabel});
   }
+  SARGUS_RETURN_IF_ERROR(
+      WalLogLocked(storage::WalRecord::Kind::kAddNode, 0, 0, kInvalidLabel));
   SARGUS_RETURN_IF_ERROR(FinishMutation());
   return id;
+}
+
+bool AccessControlEngine::EdgeInBaseLocked(NodeId src, NodeId dst,
+                                           LabelId label) const {
+  if (graph_->edge_lookup_ready() || idx_ == nullptr) {
+    return graph_->FindEdge(src, dst, label).has_value();
+  }
+  // After OpenFromDir the graph's triple→slot map is deliberately left
+  // unmaterialized (building it costs as much as the rebuild the bundle
+  // avoids). On the mutation path the CSR snapshot is in lockstep with
+  // the base graph's live edges, so membership can come from the
+  // label-sorted adjacency instead. Nodes past the snapshot's count
+  // (staged adds) cannot have base edges.
+  if (src >= idx_->csr.NumNodes()) return false;
+  for (const CsrSnapshot::Entry& e : idx_->csr.OutWithLabel(src, label)) {
+    if (e.other == dst) return true;
+  }
+  return false;
 }
 
 Status AccessControlEngine::StageAddEdge(NodeId src, NodeId dst,
                                          LabelId label) {
   SARGUS_RETURN_IF_ERROR(CheckEndpoints(src, dst));
-  const bool in_base = graph_->FindEdge(src, dst, label).has_value();
+  const bool in_base = EdgeInBaseLocked(src, dst, label);
   if (in_base) {
     // Present in the snapshot: visible unless masked by a staged remove.
     (void)overlay_.UnstageRemove(src, dst, label);
@@ -264,7 +315,7 @@ Status AccessControlEngine::StageAddEdge(NodeId src, NodeId dst,
 Status AccessControlEngine::StageRemoveEdge(NodeId src, NodeId dst,
                                             LabelId label) {
   if (!overlay_.UnstageAdd(src, dst, label)) {
-    const bool in_base = graph_->FindEdge(src, dst, label).has_value();
+    const bool in_base = EdgeInBaseLocked(src, dst, label);
     if (!in_base || overlay_.IsStagedRemove(src, dst, label)) {
       return Status::NotFound("RemoveEdge: no such logical edge");
     }
@@ -347,6 +398,9 @@ Status AccessControlEngine::CompactBlockingLocked() {
   policy_ = PolicySnapshot::Build(*store_, *graph_, *idx_, options_);
   RecomputeEffectiveThreshold();
   PublishView();
+  if (durable_ && durability_.snapshot_on_compaction) {
+    SARGUS_RETURN_IF_ERROR(SaveSnapshotLocked());
+  }
   return OkStatus();
 }
 
@@ -409,6 +463,17 @@ AccessControlEngine::FinishCompactionLocked(
   policy_ = PolicySnapshot::WithAutoPicks(*policy_, *idx_, options_);
   RecomputeEffectiveThreshold();
   PublishView();
+
+  if (durable_ && durability_.snapshot_on_compaction) {
+    // The fold rewrote the graph and reset the overlay; the previous
+    // bundle no longer covers the on-disk WAL's history, so publish a
+    // fresh one (and truncate the WAL it covers) before releasing the
+    // writer lock. Readers never take mutation_mu_, so this stays off
+    // the serving path. A failed save degrades durability, not serving —
+    // recorded like a failed build.
+    const Status saved = SaveSnapshotLocked();
+    if (!saved.ok()) last_compaction_status_ = saved;
+  }
 
   // Chain a follow-up build when the journal leftovers still demand one
   // (an explicit Compact() arrived mid-build, or they already trip the
@@ -505,6 +570,186 @@ void AccessControlEngine::WaitForCompaction() {
 bool AccessControlEngine::compaction_in_flight() const {
   std::lock_guard<std::mutex> lock(comp_mu_);
   return comp_state_ != CompState::kIdle;
+}
+
+// ---- Durability -------------------------------------------------------------
+
+Status AccessControlEngine::WalLogLocked(storage::WalRecord::Kind kind,
+                                         NodeId src, NodeId dst,
+                                         LabelId label) {
+  if (!durable_ || wal_replaying_) return OkStatus();
+  storage::WalRecord rec;
+  rec.kind = kind;
+  // The stamp is read *after* the mutation staged, so it names the state
+  // the record produced; replay applies records strictly above the
+  // bundle's stamp, which names the state the bundle captured.
+  rec.generation = snapshot_generation_.load(std::memory_order_relaxed);
+  rec.overlay_version = overlay_.version();
+  rec.src = src;
+  rec.dst = dst;
+  // Edge records carry the label *name*: a label interned after the
+  // bundle was saved has no id in the bundle's dictionary, and replay
+  // re-interns through the public AddEdge path.
+  if (label != kInvalidLabel) rec.label = graph_->labels().ToString(label);
+  return wal_.Append(rec);
+}
+
+Status AccessControlEngine::SaveSnapshotLocked() {
+  if (!durable_) {
+    return Status::FailedPrecondition(
+        "SaveSnapshot: call EnableDurability() first");
+  }
+  storage::BundlePayload payload;
+  payload.graph = graph_;
+  payload.indexes = idx_.get();
+  payload.overlay = &overlay_;
+  payload.stamp = {snapshot_generation_.load(std::memory_order_relaxed),
+                   overlay_.version()};
+  payload.compact_threshold = effective_compact_threshold_;
+  SARGUS_RETURN_IF_ERROR(
+      storage::WriteBundle(BundlePath(durability_dir_), payload));
+  // The bundle serializes the overlay too, so every WAL record at or
+  // below its stamp is covered — the file is pure history now.
+  if (durability_.truncate_wal_on_save && wal_.is_open()) {
+    return wal_.Truncate();
+  }
+  return OkStatus();
+}
+
+Status AccessControlEngine::SaveSnapshot() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  return SaveSnapshotLocked();
+}
+
+Status AccessControlEngine::EnableDurability(const std::string& dir,
+                                             DurabilityOptions durability) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "EnableDurability: call RebuildIndexes() first");
+  }
+  if (mutable_graph_ == nullptr) {
+    return Status::FailedPrecondition(
+        "EnableDurability requires the mutable-graph constructor");
+  }
+  SARGUS_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  durability_ = durability;
+  durability_dir_ = dir;
+  SARGUS_ASSIGN_OR_RETURN(wal_,
+                          storage::WalWriter::Open(WalPath(dir), durability.wal_sync));
+  durable_ = true;
+  // Publish a bundle covering the current state so the directory is
+  // consistent (and any stale WAL records are covered) from here on.
+  const Status saved = SaveSnapshotLocked();
+  if (!saved.ok()) {
+    durable_ = false;
+    return saved;
+  }
+  return OkStatus();
+}
+
+Status AccessControlEngine::ReplayWal(std::span<const storage::WalRecord> records,
+                                      const storage::SnapshotStamp& covered) {
+  wal_replaying_ = true;
+  Status status = OkStatus();
+  for (const auto& rec : records) {
+    const storage::SnapshotStamp stamp{rec.generation, rec.overlay_version};
+    if (stamp <= covered) continue;  // bundle already captured this record
+    switch (rec.kind) {
+      case storage::WalRecord::Kind::kAddEdge:
+        status = AddEdge(rec.src, rec.dst, rec.label);
+        break;
+      case storage::WalRecord::Kind::kRemoveEdge:
+        status = RemoveEdge(rec.src, rec.dst, rec.label);
+        break;
+      case storage::WalRecord::Kind::kAddNode:
+        status = AddNode().status();
+        break;
+      case storage::WalRecord::Kind::kPolicyRefresh:
+        status = RefreshPolicies();
+        break;
+    }
+    if (!status.ok()) break;
+  }
+  wal_replaying_ = false;
+  if (!status.ok()) {
+    return Status::DataLoss("wal replay failed: " + status.ToString());
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<AccessControlEngine>> AccessControlEngine::OpenFromDir(
+    const std::string& dir, SocialGraph* graph, const PolicyStore& store,
+    EngineOptions options, DurabilityOptions durability) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("OpenFromDir: graph must be non-null");
+  }
+  SARGUS_ASSIGN_OR_RETURN(storage::LoadedBundle loaded,
+                          storage::LoadBundle(BundlePath(dir)));
+
+  // The bundle only holds what the saving configuration built; an
+  // opening configuration that needs more must rebuild from scratch.
+  const bool needs_join = options.evaluator == EvaluatorChoice::kAuto ||
+                          options.evaluator == EvaluatorChoice::kJoinIndex;
+  if (needs_join && (loaded.flags & storage::kFlagJoinBuilt) == 0) {
+    return Status::FailedPrecondition(
+        "OpenFromDir: options need the join stack but the bundle was saved "
+        "without it");
+  }
+  if (options.use_closure_prefilter &&
+      (loaded.flags & storage::kFlagClosure) == 0) {
+    return Status::FailedPrecondition(
+        "OpenFromDir: options need the closure prefilter but the bundle was "
+        "saved without it");
+  }
+  if (options.line_graph_backward &&
+      (loaded.flags & storage::kFlagBackwardLineGraph) == 0) {
+    return Status::FailedPrecondition(
+        "OpenFromDir: options need backward line-graph orientations but the "
+        "bundle was saved without them");
+  }
+
+  *graph = std::move(loaded.graph);
+  auto engine = std::unique_ptr<AccessControlEngine>(
+      new AccessControlEngine(*graph, store, options));
+  {
+    std::lock_guard<std::mutex> lock(engine->mutation_mu_);
+    engine->idx_ = std::move(loaded.indexes);
+    engine->overlay_ = std::move(loaded.overlay);
+    engine->snapshot_generation_.store(loaded.stamp.generation,
+                                       std::memory_order_release);
+    engine->policy_ =
+        PolicySnapshot::Build(store, *graph, *engine->idx_, options);
+    engine->built_ = true;
+    engine->RecomputeEffectiveThreshold();
+    engine->PublishView();
+  }
+
+  // Replay whatever the bundle does not cover. A missing WAL is a fresh
+  // directory; header-level damage is unrecoverable (we cannot know what
+  // was acknowledged); a torn *tail* is expected after a crash — replay
+  // the clean prefix and truncate the tear on reopen.
+  int64_t resume_size = -1;
+  auto wal_contents = storage::ReadWal(WalPath(dir));
+  if (wal_contents.ok()) {
+    SARGUS_RETURN_IF_ERROR(
+        engine->ReplayWal(wal_contents->records, loaded.stamp));
+    resume_size = static_cast<int64_t>(wal_contents->valid_bytes);
+  } else if (wal_contents.status().code() != StatusCode::kNotFound) {
+    return wal_contents.status();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(engine->mutation_mu_);
+    engine->durability_ = durability;
+    engine->durability_dir_ = dir;
+    SARGUS_ASSIGN_OR_RETURN(
+        engine->wal_,
+        storage::WalWriter::Open(WalPath(dir), durability.wal_sync,
+                                 resume_size));
+    engine->durable_ = true;
+  }
+  return engine;
 }
 
 // ---- Read path --------------------------------------------------------------

@@ -139,8 +139,35 @@
 #include "engine/policy.h"
 #include "engine/read_view.h"
 #include "graph/delta_overlay.h"
+#include "storage/wal.h"
 
 namespace sargus {
+
+namespace storage {
+struct SnapshotStamp;  // snapshot_format.h
+}  // namespace storage
+
+/// Durability configuration (storage/ subsystem; see the "Durability &
+/// recovery" section of docs/ARCHITECTURE.md). An engine with
+/// EnableDurability attached logs every mutation to an append-only WAL
+/// and serializes its whole serving state (graph + overlay + prebuilt
+/// index stack) into an atomic snapshot bundle, so OpenFromDir restores
+/// a serving engine without recomputing a single index.
+struct DurabilityOptions {
+  /// fdatasync every WAL append (default): an acknowledged mutation
+  /// survives a crash. kNever trades that tail for append speed; reopen
+  /// still never corrupts (the torn tail is detected and truncated).
+  storage::WalSyncPolicy wal_sync = storage::WalSyncPolicy::kEveryRecord;
+  /// Truncate the WAL once a bundle covering it is durably published.
+  /// Tests turn this off to exercise the crash window between "bundle
+  /// renamed into place" and "WAL truncated" — recovery must skip the
+  /// covered records either way.
+  bool truncate_wal_on_save = true;
+  /// Re-save the bundle whenever a compaction completes or
+  /// RebuildIndexes runs. Folds rewrite the graph and reset the overlay;
+  /// without a fresh bundle the on-disk state would stop covering them.
+  bool snapshot_on_compaction = true;
+};
 
 class AccessControlEngine {
  public:
@@ -229,6 +256,44 @@ class AccessControlEngine {
   /// store is unchanged. (Any mutation republishes too — this is for
   /// policy-only changes.)
   Status RefreshPolicies();
+
+  // ---- Durability (write path; externally serialized like the rest) -------
+
+  /// Attaches a durability directory: saves an initial bundle covering
+  /// the current state, opens (or creates) the WAL, and from here on
+  /// logs every mutation before it returns. Requires built indexes and
+  /// the mutable-graph constructor. Idempotent in effect: calling it on
+  /// a directory with stale files simply publishes a fresh bundle that
+  /// covers everything.
+  Status EnableDurability(const std::string& dir,
+                          DurabilityOptions durability = {});
+
+  /// Serializes the current serving state into the bundle (atomic
+  /// replace) and truncates the WAL it covers (unless the truncate knob
+  /// is off). Also invoked automatically at every compaction completion
+  /// and RebuildIndexes when snapshot_on_compaction is set.
+  Status SaveSnapshot();
+
+  /// Restores an engine from a durability directory: mmap + verify the
+  /// bundle, adopt its graph into `*graph` and its indexes/overlay into
+  /// the engine (no index computation), replay the WAL tail whose
+  /// (generation, version) stamps the bundle does not cover, truncate
+  /// any torn WAL tail, and reopen the WAL for appending. The first
+  /// CheckAccess works immediately — no RebuildIndexes. Policies are
+  /// not persisted: re-register them on `store` and call
+  /// RefreshPolicies(). kFailedPrecondition when `options` needs an
+  /// index the bundle never built (join stack, closure, backward line
+  /// graph); kDataLoss on corruption.
+  static Result<std::unique_ptr<AccessControlEngine>> OpenFromDir(
+      const std::string& dir, SocialGraph* graph, const PolicyStore& store,
+      EngineOptions options = {}, DurabilityOptions durability = {});
+
+  bool durable() const { return durable_; }
+  /// Current WAL file size in bytes (tests/benchmarks).
+  uint64_t wal_size_bytes() const {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    return wal_.is_open() ? wal_.size() : 0;
+  }
 
   // ---- Read path (thread-safe, lock-free except the audit ring) -----------
 
@@ -336,6 +401,12 @@ class AccessControlEngine {
   /// journals the op when a compaction build is in flight.
   Status StageAddEdge(NodeId src, NodeId dst, LabelId label);
   Status StageRemoveEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Is (src, dst, label) a live edge of the base snapshot? Uses the
+  /// graph's triple map when materialized, else the CSR adjacency (so a
+  /// freshly opened bundle never pays the map rebuild on the WAL-replay
+  /// path).
+  bool EdgeInBaseLocked(NodeId src, NodeId dst, LabelId label) const;
   /// Post-staging tail: kick/perform compaction at threshold, publish.
   Status FinishMutation();
   /// Mutation-entry guard: mutable graph + built indexes.
@@ -372,6 +443,17 @@ class AccessControlEngine {
       bool incremental);
   /// Re-derives effective_compact_threshold_ from the current snapshot.
   void RecomputeEffectiveThreshold();
+  /// SaveSnapshot body; caller holds mutation_mu_.
+  Status SaveSnapshotLocked();
+  /// Appends one mutation record stamped with the current (generation,
+  /// overlay version). No-op unless durable (and not mid-replay). Caller
+  /// holds mutation_mu_; pass kInvalidLabel for label-less kinds.
+  Status WalLogLocked(storage::WalRecord::Kind kind, NodeId src, NodeId dst,
+                      LabelId label);
+  /// Re-applies the uncovered suffix of `records` through the public
+  /// mutation path (with WAL re-appends suppressed). OpenFromDir only.
+  Status ReplayWal(std::span<const storage::WalRecord> records,
+                   const storage::SnapshotStamp& covered);
   /// RebuildIndexes body; caller holds mutation_mu_.
   Status RebuildIndexesLocked();
   /// Dedicated compaction-thread main loop.
@@ -439,6 +521,15 @@ class AccessControlEngine {
   std::atomic<uint64_t> publish_seq_{0};
   mutable std::mutex view_mu_;
   std::shared_ptr<const AccessReadView> view_;  // guarded by view_mu_
+
+  /// Durability state. Written under mutation_mu_ (setup happens before
+  /// the engine is shared); WAL appends run inside the mutation path,
+  /// which already holds mutation_mu_.
+  bool durable_ = false;
+  bool wal_replaying_ = false;
+  std::string durability_dir_;
+  DurabilityOptions durability_;
+  storage::WalWriter wal_;
 
   /// Audit ring, shared by all reader threads.
   mutable std::mutex audit_mu_;

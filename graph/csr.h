@@ -21,6 +21,10 @@ namespace sargus {
 
 class DeltaOverlay;
 
+namespace storage {
+struct StorageAccess;
+}
+
 class CsrSnapshot {
  public:
   /// One adjacency entry: the far endpoint plus the edge's label and slot.
@@ -79,6 +83,8 @@ class CsrSnapshot {
   }
 
  private:
+  friend struct storage::StorageAccess;
+
   static std::span<const Entry> LabelRange(std::span<const Entry> all,
                                            LabelId label);
 

@@ -52,6 +52,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 class DeltaOverlay {
  public:
   /// One logical edge. The graph coalesces duplicate (src, dst, label)
@@ -190,6 +194,7 @@ class DeltaOverlay {
   uint64_t version_ = 0;
 
   friend class AccessControlEngine;  // version continuity across compaction
+  friend struct storage::StorageAccess;
 };
 
 /// Node ids a traversal over (csr, overlay) may legally touch: the

@@ -25,6 +25,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 class LineGraph {
  public:
   struct Options {
@@ -94,6 +98,8 @@ class LineGraph {
   }
 
  private:
+  friend struct storage::StorageAccess;
+
   /// Re-derives the tail/head bucket lists and the implicit arc count
   /// from vertices_ for an n-node snapshot.
   void RebuildBuckets(size_t n);

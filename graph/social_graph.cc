@@ -96,6 +96,7 @@ Result<EdgeId> SocialGraph::AddEdge(NodeId src, NodeId dst, LabelId label) {
   if (label >= labels_.size()) {
     return Status::InvalidArgument("AddEdge: unknown label id");
   }
+  EnsureEdgeLookup();
   const EdgeKey key{src, dst, label};
   auto it = edge_lookup_.find(key);
   if (it != edge_lookup_.end()) return it->second;
@@ -109,6 +110,7 @@ Result<EdgeId> SocialGraph::AddEdge(NodeId src, NodeId dst, LabelId label) {
 
 std::optional<EdgeId> SocialGraph::FindEdge(NodeId src, NodeId dst,
                                             LabelId label) const {
+  EnsureEdgeLookup();
   auto it = edge_lookup_.find(EdgeKey{src, dst, label});
   if (it == edge_lookup_.end()) return std::nullopt;
   return it->second;
@@ -119,10 +121,23 @@ Status SocialGraph::RemoveEdge(EdgeId edge) {
     return Status::NotFound("RemoveEdge: no live edge in slot");
   }
   const Edge& rec = edges_[edge];
+  EnsureEdgeLookup();
   edge_lookup_.erase(EdgeKey{rec.src, rec.dst, rec.label});
   live_[edge] = 0;
   --num_live_edges_;
   return OkStatus();
+}
+
+void SocialGraph::EnsureEdgeLookup() const {
+  if (!edge_lookup_stale_) return;
+  edge_lookup_.clear();
+  edge_lookup_.reserve(num_live_edges_);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!live_[e]) continue;
+    const Edge& rec = edges_[e];
+    edge_lookup_.emplace(EdgeKey{rec.src, rec.dst, rec.label}, e);
+  }
+  edge_lookup_stale_ = false;
 }
 
 size_t SocialGraph::MemoryBytes() const {

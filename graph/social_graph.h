@@ -26,6 +26,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;  // snapshot bundle (de)serializer, storage/
+}
+
 /// Interning dictionary for label / attribute names.
 class NameDictionary {
  public:
@@ -41,6 +45,8 @@ class NameDictionary {
   size_t size() const { return names_.size(); }
 
  private:
+  friend struct storage::StorageAccess;
+
   std::vector<std::string> names_;
   std::unordered_map<std::string, uint16_t> ids_;
 };
@@ -103,6 +109,17 @@ class SocialGraph {
   /// (Duplicate triples are coalesced by AddEdge, so the triple is a key.)
   std::optional<EdgeId> FindEdge(NodeId src, NodeId dst, LabelId label) const;
 
+  /// Whether the triple→slot map is materialized. The snapshot loader
+  /// leaves it stale (rebuilding it would cost as much as the index
+  /// rebuild the bundle avoids); AddEdge/RemoveEdge/FindEdge
+  /// rematerialize it on demand. Callers with an alternative membership
+  /// source (e.g. the engine's CSR snapshot) can consult this to avoid
+  /// triggering that one-time rebuild. Note the rebuild mutates state
+  /// under a const method: concurrent FindEdge calls on a stale graph
+  /// need external synchronization (the engine's mutation lock covers
+  /// every such caller).
+  bool edge_lookup_ready() const { return !edge_lookup_stale_; }
+
   /// Number of live edges.
   size_t NumEdges() const { return num_live_edges_; }
 
@@ -130,6 +147,8 @@ class SocialGraph {
   size_t MemoryBytes() const;
 
  private:
+  friend struct storage::StorageAccess;
+
   struct EdgeKey {
     NodeId src;
     NodeId dst;
@@ -155,7 +174,14 @@ class SocialGraph {
   // trail num_nodes_ (nodes appended since the column last grew);
   // GetAttribute treats the missing tail as unset.
   std::vector<std::vector<int64_t>> attr_columns_;
-  std::unordered_map<EdgeKey, EdgeId, EdgeKeyHash> edge_lookup_;
+
+  /// Rematerializes edge_lookup_ from the live slots when stale.
+  void EnsureEdgeLookup() const;
+
+  // Lazily materialized (hence mutable): the loader marks it stale and
+  // the first lookup/mutation rebuilds it from edges_/live_.
+  mutable std::unordered_map<EdgeKey, EdgeId, EdgeKeyHash> edge_lookup_;
+  mutable bool edge_lookup_stale_ = false;
 };
 
 }  // namespace sargus

@@ -20,6 +20,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 class BaseTables {
  public:
   struct Row {
@@ -44,6 +48,8 @@ class BaseTables {
   }
 
  private:
+  friend struct storage::StorageAccess;
+
   // Index 2*label + (backward ? 1 : 0).
   std::vector<std::vector<Row>> tables_;
 };

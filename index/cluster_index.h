@@ -27,6 +27,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 class ClusterJoinIndex {
  public:
   ClusterJoinIndex() = default;
@@ -55,6 +59,8 @@ class ClusterJoinIndex {
   }
 
  private:
+  friend struct storage::StorageAccess;
+
   size_t OrientedLabelCount() const { return num_oriented_labels_; }
   size_t BucketIndex(LabelId label, bool backward, NodeId node) const {
     return (2 * static_cast<size_t>(label) + (backward ? 1 : 0)) *

@@ -19,6 +19,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 /// Interval labels for one direction (descendants or ancestors).
 class IntervalLabeling {
  public:
@@ -47,6 +51,8 @@ class IntervalLabeling {
   }
 
  private:
+  friend struct storage::StorageAccess;
+
   struct Interval {
     uint32_t low = 0;
     uint32_t post = 0;

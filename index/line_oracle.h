@@ -29,6 +29,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 enum class OracleMode { kTwoHop, kIntervals };
 
 class LineReachabilityOracle {
@@ -86,6 +90,8 @@ class LineReachabilityOracle {
   }
 
  private:
+  friend struct storage::StorageAccess;
+
   SccResult scc_;
   Dag dag_;
   IntervalIndex intervals_;

@@ -20,6 +20,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 struct SccResult {
   /// Component of each input vertex. Components are numbered in reverse
   /// topological order of the condensation (an arc u->v between different
@@ -59,6 +63,8 @@ class Dag {
                       std::vector<std::pair<uint32_t, uint32_t>> arcs);
 
  private:
+  friend struct storage::StorageAccess;
+
   size_t num_vertices_ = 0;
   std::vector<uint32_t> fwd_offsets_{0};
   std::vector<uint32_t> fwd_arcs_;

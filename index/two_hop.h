@@ -47,6 +47,10 @@
 
 namespace sargus {
 
+namespace storage {
+struct StorageAccess;
+}
+
 enum class TwoHopStrategy { kPrunedLandmark, kGreedyMaxCover };
 
 struct TwoHopOptions {
@@ -100,6 +104,8 @@ class TwoHopLabeling {
   }
 
  private:
+  friend struct storage::StorageAccess;
+
   /// Rebuilds the CSR arrays from per-vertex hub lists.
   void Flatten(const std::vector<std::vector<uint32_t>>& out_hubs,
                const std::vector<std::vector<uint32_t>>& in_hubs);

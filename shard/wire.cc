@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/checksum.h"
+
 namespace sargus::wire {
 namespace {
 
@@ -97,15 +99,6 @@ class ByteReader {
 
 constexpr size_t kHeaderBytes = 9;    // magic + version + type
 constexpr size_t kChecksumBytes = 8;  // trailing FNV-1a 64
-
-uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 void PutHeader(ByteWriter& w, MsgType type) {
   w.U32(kMagic);

@@ -1,0 +1,339 @@
+#include "storage/snapshot_loader.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/file_util.h"
+#include "index/base_tables.h"
+#include "index/cluster_index.h"
+#include "index/intervals.h"
+#include "index/line_oracle.h"
+#include "index/scc.h"
+#include "index/transitive_closure.h"
+#include "index/two_hop.h"
+
+namespace sargus::storage {
+
+namespace {
+
+/// A reader that ended mid-field, or a section with trailing bytes,
+/// means the writer and loader disagree about the layout — surfaced as
+/// corruption rather than silently adopting a half-read structure.
+Status FinishSection(const BlobReader& r, const char* what) {
+  if (!r.ok()) {
+    return Status::DataLoss(std::string("bundle: truncated ") + what +
+                            " section");
+  }
+  if (r.Remaining() != 0) {
+    return Status::DataLoss(std::string("bundle: trailing bytes in ") + what +
+                            " section");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+// ---- Adopt halves (serialize halves live in snapshot_format.cc) -----------
+
+Status StorageAccess::LoadGraph(BlobReader& r, SocialGraph* g) {
+  g->num_nodes_ = r.GetU64();
+  const uint64_t num_slots = r.GetU64();
+  if (!r.ok() || num_slots > r.Remaining() / sizeof(uint32_t)) {
+    return Status::DataLoss("bundle: graph edge count out of range");
+  }
+  g->edges_.resize(num_slots);
+  for (auto& e : g->edges_) e.src = r.GetU32();
+  for (auto& e : g->edges_) e.dst = r.GetU32();
+  for (auto& e : g->edges_) e.label = r.GetU16();
+  r.GetVec(&g->live_);
+  g->num_live_edges_ = r.GetU64();
+  if (!r.ok() || g->live_.size() != g->edges_.size()) {
+    return Status::DataLoss("bundle: graph live bitmap size mismatch");
+  }
+
+  auto load_dict = [&r](NameDictionary* dict) {
+    const uint64_t n = r.GetU64();
+    if (!r.ok() || n > r.Remaining()) return;  // each name is >= 4 bytes
+    dict->names_.resize(n);
+    dict->ids_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      r.GetString(&dict->names_[i]);
+      dict->ids_[dict->names_[i]] = static_cast<uint16_t>(i);
+    }
+  };
+  load_dict(&g->labels_);
+  load_dict(&g->attrs_);
+
+  const uint64_t num_columns = r.GetU64();
+  if (!r.ok() || num_columns > r.Remaining()) {
+    return Status::DataLoss("bundle: graph attribute column count");
+  }
+  g->attr_columns_.resize(num_columns);
+  for (auto& col : g->attr_columns_) r.GetVec(&col);
+
+  // Do NOT rebuild the triple lookup here: hashing every live edge back
+  // into the map costs about as much as the index rebuild the bundle
+  // exists to avoid (~1s at 1M edges). Mark it stale instead; the graph
+  // rematerializes it on first use, which is always on the mutation/fold
+  // path, never on the cold-start-to-first-query path.
+  g->edge_lookup_.clear();
+  g->edge_lookup_stale_ = true;
+  return FinishSection(r, "graph");
+}
+
+Status StorageAccess::LoadCsr(BlobReader& r, CsrSnapshot* csr) {
+  csr->num_nodes_ = r.GetU64();
+  r.GetVec(&csr->out_offsets_);
+  const uint64_t num_out = r.GetU64();
+  if (!r.ok() || num_out > r.Remaining() / sizeof(uint32_t)) {
+    return Status::DataLoss("bundle: csr out-entry count out of range");
+  }
+  csr->out_entries_.resize(num_out);
+  for (auto& e : csr->out_entries_) e.other = r.GetU32();
+  for (auto& e : csr->out_entries_) e.label = r.GetU16();
+  for (auto& e : csr->out_entries_) e.edge = r.GetU32();
+  r.GetVec(&csr->in_offsets_);
+  const uint64_t num_in = r.GetU64();
+  if (!r.ok() || num_in > r.Remaining() / sizeof(uint32_t)) {
+    return Status::DataLoss("bundle: csr in-entry count out of range");
+  }
+  csr->in_entries_.resize(num_in);
+  for (auto& e : csr->in_entries_) e.other = r.GetU32();
+  for (auto& e : csr->in_entries_) e.label = r.GetU16();
+  for (auto& e : csr->in_entries_) e.edge = r.GetU32();
+  if (csr->out_offsets_.size() != csr->num_nodes_ + 1 ||
+      csr->in_offsets_.size() != csr->num_nodes_ + 1) {
+    return Status::DataLoss("bundle: csr offset array size mismatch");
+  }
+  return FinishSection(r, "csr");
+}
+
+Status StorageAccess::LoadLineGraph(BlobReader& r, LineGraph* lg) {
+  const uint64_t num_vertices = r.GetU64();
+  if (!r.ok() || num_vertices > r.Remaining() / sizeof(uint32_t)) {
+    return Status::DataLoss("bundle: line-graph vertex count out of range");
+  }
+  lg->vertices_.resize(num_vertices);
+  for (auto& v : lg->vertices_) v.edge = r.GetU32();
+  for (auto& v : lg->vertices_) v.tail = r.GetU32();
+  for (auto& v : lg->vertices_) v.head = r.GetU32();
+  for (auto& v : lg->vertices_) v.label = r.GetU16();
+  for (auto& v : lg->vertices_) v.backward = r.GetU8() != 0;
+  r.GetVec(&lg->tail_offsets_);
+  r.GetVec(&lg->tail_list_);
+  r.GetVec(&lg->head_offsets_);
+  r.GetVec(&lg->head_list_);
+  lg->num_arcs_ = r.GetU64();
+  lg->num_graph_nodes_ = r.GetU64();
+  lg->includes_backward_ = r.GetU8() != 0;
+  return FinishSection(r, "line-graph");
+}
+
+Status StorageAccess::LoadOracle(BlobReader& r, LineReachabilityOracle* o) {
+  r.GetVec(&o->scc_.component_of);
+  o->scc_.num_components = r.GetU32();
+  Dag& d = o->dag_;
+  d.num_vertices_ = r.GetU64();
+  r.GetVec(&d.fwd_offsets_);
+  r.GetVec(&d.fwd_arcs_);
+  r.GetVec(&d.bwd_offsets_);
+  r.GetVec(&d.bwd_arcs_);
+  r.GetVec(&d.topo_order_);
+  r.GetVec(&o->intervals_.forward.intervals_);
+  r.GetVec(&o->intervals_.backward.intervals_);
+  TwoHopLabeling& t = o->two_hop_;
+  r.GetVec(&t.out_offsets_);
+  r.GetVec(&t.out_hubs_);
+  r.GetVec(&t.in_offsets_);
+  r.GetVec(&t.in_hubs_);
+  r.GetVec(&t.rank_of_);
+  r.GetVec(&t.vertex_of_);
+  return FinishSection(r, "oracle");
+}
+
+Status StorageAccess::LoadCluster(BlobReader& r, ClusterJoinIndex* c) {
+  c->num_nodes_ = r.GetU64();
+  c->num_oriented_labels_ = r.GetU64();
+  c->num_centers_ = r.GetU64();
+  r.GetVec(&c->offsets_);
+  r.GetVec(&c->members_);
+  r.GetVec(&c->centers_);
+  r.GetVec(&c->label_reach_);
+  return FinishSection(r, "cluster");
+}
+
+Status StorageAccess::LoadTables(BlobReader& r, BaseTables* t) {
+  const uint64_t num_tables = r.GetU64();
+  if (!r.ok() || num_tables > r.Remaining()) {
+    return Status::DataLoss("bundle: base-table count out of range");
+  }
+  t->tables_.resize(num_tables);
+  for (auto& rows : t->tables_) r.GetVec(&rows);
+  return FinishSection(r, "tables");
+}
+
+Status StorageAccess::LoadClosure(BlobReader& r, TransitiveClosure* c) {
+  c->undirected_ = r.GetU8() != 0;
+  c->num_components_ = r.GetU32();
+  c->words_ = r.GetU64();
+  c->reachable_pairs_ = r.GetU64();
+  r.GetVec(&c->component_of_);
+  r.GetVec(&c->component_size_);
+  r.GetVec(&c->reach_);
+  return FinishSection(r, "closure");
+}
+
+Status StorageAccess::LoadOverlay(BlobReader& r, DeltaOverlay* o) {
+  auto load_triples = [&r](std::vector<DeltaOverlay::EdgeTriple>* out) {
+    const uint64_t n = r.GetU64();
+    if (!r.ok() || n > r.Remaining() / sizeof(uint32_t)) {
+      return false;
+    }
+    out->resize(n);
+    for (auto& t : *out) t.src = r.GetU32();
+    for (auto& t : *out) t.dst = r.GetU32();
+    for (auto& t : *out) t.label = r.GetU16();
+    return true;
+  };
+  std::vector<DeltaOverlay::EdgeTriple> added;
+  std::vector<DeltaOverlay::EdgeTriple> removed;
+  if (!load_triples(&added) || !load_triples(&removed)) {
+    return Status::DataLoss("bundle: overlay triple count out of range");
+  }
+  const uint32_t staged_nodes = r.GetU32();
+  const uint64_t version = r.GetU64();
+  SARGUS_RETURN_IF_ERROR(FinishSection(r, "overlay"));
+
+  // Re-stage to rebuild the adjacency maps, then restore the exact
+  // version counter (each Stage call bumped it).
+  for (const auto& t : added) o->StageAdd(t.src, t.dst, t.label);
+  for (const auto& t : removed) o->StageRemove(t.src, t.dst, t.label);
+  for (uint32_t i = 0; i < staged_nodes; ++i) o->StageNode();
+  o->version_ = version;
+  return OkStatus();
+}
+
+// ---- Whole-bundle load ------------------------------------------------------
+
+Result<LoadedBundle> LoadBundle(const std::string& path) {
+  SARGUS_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  const std::span<const uint8_t> bytes = file.bytes();
+  SARGUS_ASSIGN_OR_RETURN(BundleInfo info, ParseBundleHeader(bytes));
+
+  LoadedBundle out;
+  out.indexes = std::make_shared<SnapshotIndexes>();
+  out.stamp = info.stamp;
+  out.flags = info.flags;
+  out.compact_threshold = info.compact_threshold;
+  out.indexes->join_built = (info.flags & kFlagJoinBuilt) != 0;
+
+  // Screen the section table serially (duplicates, unknown kinds), and
+  // pre-allocate the owned index structures, before fanning out.
+  uint64_t seen = 0;
+  for (const BundleInfo::Section& s : info.sections) {
+    if (s.kind < SectionKind::kGraph || s.kind > SectionKind::kOverlay) {
+      return Status::DataLoss("bundle: unknown section kind");
+    }
+    const uint64_t kind_bit = 1ULL << static_cast<uint32_t>(s.kind);
+    if (seen & kind_bit) {
+      return Status::DataLoss("bundle: duplicate section");
+    }
+    seen |= kind_bit;
+    if (s.kind == SectionKind::kOracle) {
+      out.indexes->oracle = std::make_unique<LineReachabilityOracle>();
+    } else if (s.kind == SectionKind::kCluster) {
+      out.indexes->cluster = std::make_unique<ClusterJoinIndex>();
+    } else if (s.kind == SectionKind::kClosure) {
+      out.indexes->closure = std::make_unique<TransitiveClosure>();
+    }
+  }
+
+  // Verify and adopt sections concurrently when the machine has the
+  // cores for it: checksumming is one pass per section and adoption is
+  // a chain of memcpys, so on a multi-core box the bundle-wide wall
+  // time collapses to the cost of the largest section. Sections write
+  // to disjoint destinations, so the fan-out is race-free; on a
+  // single-CPU box the loop runs inline and pays no thread overhead.
+  std::vector<Status> statuses(info.sections.size());
+  auto run_section = [&bytes, &info, &out, &statuses](size_t i) {
+    const BundleInfo::Section& s = info.sections[i];
+    const std::span<const uint8_t> sec = bytes.subspan(s.offset, s.size);
+    if (StripedFnv1a64(sec.data(), sec.size()) != s.checksum) {
+      statuses[i] = Status::DataLoss("bundle: section checksum mismatch");
+      return;
+    }
+    BlobReader r(sec);
+    switch (s.kind) {
+      case SectionKind::kGraph:
+        statuses[i] = StorageAccess::LoadGraph(r, &out.graph);
+        break;
+      case SectionKind::kCsr:
+        statuses[i] = StorageAccess::LoadCsr(r, &out.indexes->csr);
+        break;
+      case SectionKind::kLineGraph:
+        statuses[i] = StorageAccess::LoadLineGraph(r, &out.indexes->lg);
+        break;
+      case SectionKind::kOracle:
+        statuses[i] = StorageAccess::LoadOracle(r, out.indexes->oracle.get());
+        break;
+      case SectionKind::kCluster:
+        statuses[i] =
+            StorageAccess::LoadCluster(r, out.indexes->cluster.get());
+        break;
+      case SectionKind::kTables:
+        statuses[i] = StorageAccess::LoadTables(r, &out.indexes->tables);
+        break;
+      case SectionKind::kClosure:
+        statuses[i] =
+            StorageAccess::LoadClosure(r, out.indexes->closure.get());
+        break;
+      case SectionKind::kOverlay:
+        statuses[i] = StorageAccess::LoadOverlay(r, &out.overlay);
+        break;
+    }
+  };
+  const size_t num_workers =
+      std::min<size_t>(info.sections.size(),
+                       std::max(1u, std::thread::hardware_concurrency()));
+  if (num_workers <= 1) {
+    for (size_t i = 0; i < info.sections.size(); ++i) run_section(i);
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([&next, &run_section, &info] {
+        for (size_t i; (i = next.fetch_add(1)) < info.sections.size();) {
+          run_section(i);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (const Status& st : statuses) {
+    SARGUS_RETURN_IF_ERROR(st);
+  }
+
+  auto require = [seen](SectionKind kind) {
+    return (seen & (1ULL << static_cast<uint32_t>(kind))) != 0;
+  };
+  if (!require(SectionKind::kGraph) || !require(SectionKind::kCsr) ||
+      !require(SectionKind::kLineGraph) || !require(SectionKind::kTables) ||
+      !require(SectionKind::kOverlay)) {
+    return Status::DataLoss("bundle: required section missing");
+  }
+  if (out.indexes->join_built &&
+      (out.indexes->oracle == nullptr || out.indexes->cluster == nullptr)) {
+    return Status::DataLoss("bundle: join stack flagged but sections missing");
+  }
+  if (((info.flags & kFlagClosure) != 0) != (out.indexes->closure != nullptr)) {
+    return Status::DataLoss("bundle: closure flag / section mismatch");
+  }
+  return out;
+}
+
+}  // namespace sargus::storage

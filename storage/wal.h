@@ -1,0 +1,134 @@
+#ifndef SARGUS_STORAGE_WAL_H_
+#define SARGUS_STORAGE_WAL_H_
+
+/// \file wal.h
+/// \brief The mutation write-ahead log: an append-only stream of
+/// length-prefixed, checksummed writer operations.
+///
+/// Every engine mutation (AddEdge / RemoveEdge / AddNode / policy
+/// refresh) appends one record *after* it is staged and *before* the
+/// call returns, stamped with the (snapshot_generation, overlay_version)
+/// the mutation landed in — the same stamps AccessDecision carries. A
+/// snapshot bundle (storage/snapshot_format.h) is stamped the same way,
+/// which yields the recovery rule:
+///
+///     replay a record  iff  (gen, ver) > (bundle.gen, bundle.ver)
+///                           (lexicographic)
+///
+/// Records at or below the bundle stamp are *covered* — their effect is
+/// already inside the bundle's graph/overlay — and must be skipped, not
+/// double-applied. That makes the crash window between "bundle
+/// published" and "WAL truncated" safe by construction: a reopen sees
+/// covered records and ignores them.
+///
+/// Record layout (little-endian):
+///
+///     u32 payload_len            | bytes from `kind` to payload end
+///     u8  kind                   |
+///     u64 generation             |
+///     u64 overlay_version        |  payload
+///     kind-specific fields       |
+///     u64 FNV-1a-64              | over payload_len + payload
+///
+/// AddEdge/RemoveEdge carry the label *name* (not the id): a label
+/// interned after the last snapshot save does not exist in the bundle's
+/// dictionary, so replay re-interns by name exactly like the original
+/// call did. Torn-tail semantics: ReadWal returns the longest clean
+/// record prefix; a record that fails its length bound or checksum stops
+/// the scan with `tail_status` describing why and `valid_bytes` marking
+/// the truncation point (the writer reopens the log truncated there).
+/// Any single-bit flip in the stream is caught by a record checksum —
+/// the storage corruption-matrix test pins this.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sargus::storage {
+
+inline constexpr uint64_t kWalMagic = 0x314C41575347'5253ULL;  // "SRGSWAL1"
+inline constexpr uint32_t kWalVersion = 1;
+/// Magic + version + reserved u32.
+inline constexpr size_t kWalFileHeaderBytes = 16;
+/// Cap on one record's payload; anything larger is corruption.
+inline constexpr uint32_t kWalMaxPayloadBytes = 1 << 20;
+
+/// When appends are made durable. kEveryRecord fdatasyncs each append
+/// (a crashed writer loses nothing it acknowledged); kNever leaves
+/// flushing to the OS (fast, loses the unsynced tail on power failure —
+/// still never corrupts: the tail is detected and truncated on reopen).
+enum class WalSyncPolicy { kEveryRecord, kNever };
+
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kAddEdge = 1,
+    kRemoveEdge = 2,
+    kAddNode = 3,
+    kPolicyRefresh = 4,
+  };
+  Kind kind = Kind::kAddNode;
+  /// Stamp of the published state the mutation landed in.
+  uint64_t generation = 0;
+  uint64_t overlay_version = 0;
+  // kAddEdge / kRemoveEdge only:
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::string label;
+};
+
+/// Result of scanning a WAL file.
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Offset of the first byte past the last clean record — where a
+  /// recovering writer resumes appending.
+  uint64_t valid_bytes = 0;
+  /// OK when the scan ended exactly at EOF; otherwise why it stopped
+  /// (torn tail or corruption). Records before the stop point are
+  /// intact either way — a bad record never makes it into `records`.
+  Status tail_status = OkStatus();
+};
+
+/// Encodes one record (for tests that build WAL bytes by hand).
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& rec);
+
+/// Scans `path`. kNotFound when the file does not exist; kInvalidArgument
+/// when the file header itself is damaged. Never crashes on garbage.
+Result<WalContents> ReadWal(const std::string& path);
+
+/// Appender. Open creates the file (writing the header) or resumes an
+/// existing one at `resume_size` (truncating a torn tail detected by
+/// ReadWal).
+class WalWriter {
+ public:
+  static Result<WalWriter> Open(const std::string& path,
+                                WalSyncPolicy sync_policy,
+                                int64_t resume_size = -1);
+
+  WalWriter() = default;
+  WalWriter(WalWriter&&) noexcept = default;
+  WalWriter& operator=(WalWriter&&) noexcept = default;
+
+  /// Appends one record (and fdatasyncs under kEveryRecord).
+  Status Append(const WalRecord& rec);
+
+  /// Drops every record: the log shrinks back to its file header. Called
+  /// after a snapshot bundle covering the log is durably published.
+  Status Truncate();
+
+  Status Sync() { return file_.Sync(); }
+  uint64_t size() const { return file_.size(); }
+  bool is_open() const { return file_.is_open(); }
+
+ private:
+  AppendFile file_;
+  WalSyncPolicy sync_policy_ = WalSyncPolicy::kEveryRecord;
+};
+
+}  // namespace sargus::storage
+
+#endif  // SARGUS_STORAGE_WAL_H_
