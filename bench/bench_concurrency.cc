@@ -17,16 +17,35 @@
 ///    audit_capacity = 0 (cached view acquire, no mutex anywhere);
 ///  * BM_BatchCheckAccess vs BM_LoopCheckAccess — one
 ///    CheckAccessBatch over a fixed request mix vs the same requests
-///    looped one by one (per-decision latency, single thread).
+///    looped one by one (per-decision latency, single thread);
+///  * BM_MutationThroughputQueued/threads:N vs
+///    BM_MutationThroughputMutex/threads:N — N producers pushing
+///    durable mutations through the MPSC MutationQueue (pipelined
+///    submission, WalSyncPolicy::kGroupCommit: one fsync + one
+///    published view per batch) vs the retired contract (external
+///    mutex, inline path, kEveryRecord: one fsync + one publish per
+///    op). The write-pipeline acceptance criterion reads these two
+///    series: queued ≥ 3x mutex at 8 producers, no regression at 1;
+///  * BM_ReadWriteInterferenceZipf/threads:N — thread 0 streams
+///    queued mutations while N-1 readers draw Zipf-skewed (theta 0.99)
+///    requester/resource mixes; items counts reader decisions only.
+///    BM_ReadOnlyZipf is the no-writer baseline the interference is
+///    measured against.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "engine/access_engine.h"
 #include "query/eval_context.h"
+#include "synth/generators.h"
 
 namespace sargus {
 namespace bench {
@@ -181,6 +200,228 @@ void BM_LoopCheckAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.requests.size());
 }
 BENCHMARK(BM_LoopCheckAccess);
+
+// ---- Mutation throughput: queued vs mutex-serialized ------------------------
+
+// Each producer toggles its own private logical edge (add, remove, add,
+// ...): every op succeeds, the overlay stays bounded, and no two
+// threads ever contend on the same logical edge — so the series
+// measures pipeline overhead, not conflict semantics.
+constexpr size_t kWriterNodes = 2000;
+// In-flight tickets a queued producer keeps before waiting one out.
+// Durability lives on tmpfs in CI, so the fsync is cheap; the batching
+// win comes from amortizing the O(overlay) view republication.
+constexpr size_t kPipelineWindow = 64;
+
+struct MutationFixture {
+  std::unique_ptr<SocialGraph> g;
+  PolicyStore store;
+  std::string dir;
+  std::unique_ptr<AccessControlEngine> engine;
+  std::mutex legacy_mu;  // the retired external single-writer contract
+};
+
+MutationFixture& GetMutationFixture(bool queued) {
+  static std::map<bool, std::unique_ptr<MutationFixture>> cache;
+  auto it = cache.find(queued);
+  if (it != cache.end()) return *it->second;
+
+  auto fx = std::make_unique<MutationFixture>();
+  fx->g = std::make_unique<SocialGraph>(
+      MakeGraph(GraphKind::kBarabasiAlbert, kWriterNodes, 3, 42));
+  const ResourceId res = fx->store.RegisterResource(0, "res");
+  if (!fx->store.AddRuleFromPaths(res, {"friend[1,2]"}).ok()) std::abort();
+
+  EngineOptions options;
+  // Keep fold/snapshot work out of the measured loop; the overlay stays
+  // bounded anyway because every producer toggles its edge.
+  options.compact_threshold = 1u << 30;
+  options.audit_capacity = 0;
+  options.async_mutations = queued;
+  fx->engine = std::make_unique<AccessControlEngine>(*fx->g, fx->store,
+                                                     options);
+  if (!fx->engine->RebuildIndexes().ok()) std::abort();
+
+  char tmpl[] = "/tmp/sargus_bench_concurrency_XXXXXX";
+  fx->dir = mkdtemp(tmpl);
+  DurabilityOptions durability;
+  durability.wal_sync = queued ? storage::WalSyncPolicy::kGroupCommit
+                               : storage::WalSyncPolicy::kEveryRecord;
+  durability.snapshot_on_compaction = false;
+  if (!fx->engine->EnableDurability(fx->dir, durability).ok()) std::abort();
+  return *cache.emplace(queued, std::move(fx)).first->second;
+}
+
+/// N producers over the MPSC queue: pipelined submission with a bounded
+/// ticket window, group-commit batches behind the scenes.
+void BM_MutationThroughputQueued(benchmark::State& state) {
+  MutationFixture& f = GetMutationFixture(/*queued=*/true);
+  AccessControlEngine& engine = *f.engine;
+  const auto src = static_cast<NodeId>(2 * state.thread_index());
+  const auto dst = static_cast<NodeId>(2 * state.thread_index() + 1);
+  bool add = true;
+  std::deque<WriteTicket> window;
+  for (auto _ : state) {
+    WriteTicket ticket = add ? engine.SubmitAddEdge(src, dst, "friend")
+                             : engine.SubmitRemoveEdge(src, dst, "friend");
+    add = !add;
+    window.push_back(std::move(ticket));
+    if (window.size() >= kPipelineWindow) {
+      const WriteOutcome out = window.front().Wait();
+      window.pop_front();
+      if (!out.status.ok()) {
+        state.SkipWithError(out.status.ToString().c_str());
+        break;
+      }
+    }
+  }
+  for (const WriteTicket& t : window) (void)t.Wait();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutationThroughputQueued)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// The same op stream under the retired contract: producers serialize
+/// behind an external mutex, each op runs the inline path — its own
+/// WAL fsync (kEveryRecord) and its own view republication.
+void BM_MutationThroughputMutex(benchmark::State& state) {
+  MutationFixture& f = GetMutationFixture(/*queued=*/false);
+  AccessControlEngine& engine = *f.engine;
+  const auto src = static_cast<NodeId>(2 * state.thread_index());
+  const auto dst = static_cast<NodeId>(2 * state.thread_index() + 1);
+  bool add = true;
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> lock(f.legacy_mu);
+    const Status s = add ? engine.AddEdge(src, dst, "friend")
+                         : engine.RemoveEdge(src, dst, "friend");
+    add = !add;
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutationThroughputMutex)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// ---- Read-vs-write interference under Zipf-skewed readers -------------------
+
+constexpr double kZipfTheta = 0.99;
+
+struct InterferenceFixture {
+  std::unique_ptr<SocialGraph> g;
+  PolicyStore store;
+  std::vector<ResourceId> resources;
+  std::unique_ptr<AccessControlEngine> engine;
+};
+
+InterferenceFixture& GetInterferenceFixture() {
+  static InterferenceFixture* f = []() {
+    auto* fx = new InterferenceFixture();
+    fx->g = std::make_unique<SocialGraph>(
+        MakeGraph(GraphKind::kBarabasiAlbert, kNodes, 3, 43));
+    static const char* kPolicyMix[] = {
+        "friend[1]",
+        "friend[1,2]",
+        "friend[1,2]/colleague[1]",
+        "friend[1]{age>=18}",
+    };
+    Rng rng(7);
+    for (size_t i = 0; i < kNumResources; ++i) {
+      const NodeId owner = static_cast<NodeId>(rng.NextBounded(kNodes));
+      const ResourceId res =
+          fx->store.RegisterResource(owner, "zres" + std::to_string(i));
+      if (!fx->store.AddRuleFromPaths(res, {kPolicyMix[i % 4]}).ok()) {
+        std::abort();
+      }
+      fx->resources.push_back(res);
+    }
+    EngineOptions options;
+    options.compact_threshold = 1u << 30;
+    options.audit_capacity = 0;
+    fx->engine = std::make_unique<AccessControlEngine>(*fx->g, fx->store,
+                                                       options);
+    if (!fx->engine->RebuildIndexes().ok()) std::abort();
+    return fx;
+  }();
+  return *f;
+}
+
+void RunZipfReader(benchmark::State& state, AccessControlEngine& engine,
+                   const std::vector<ResourceId>& resources) {
+  ZipfSampler requesters(kNodes, kZipfTheta,
+                         1000 + static_cast<uint64_t>(state.thread_index()));
+  ZipfSampler picks(resources.size(), kZipfTheta,
+                    2000 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    const AccessRequest req{
+        .requester = static_cast<NodeId>(requesters.Next()),
+        .resource = resources[picks.Next()]};
+    auto d = engine.CheckAccess(req);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(d->granted);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Thread 0 streams pipelined mutations through the queue; the rest are
+/// Zipf-skewed readers. Reported items are reader decisions only — the
+/// series quantifies how much decision throughput the write pipeline's
+/// batched publishes steal from readers.
+void BM_ReadWriteInterferenceZipf(benchmark::State& state) {
+  InterferenceFixture& f = GetInterferenceFixture();
+  if (state.thread_index() == 0) {
+    AccessControlEngine& engine = *f.engine;
+    const auto src = static_cast<NodeId>(kNodes - 2);
+    const auto dst = static_cast<NodeId>(kNodes - 1);
+    bool add = true;
+    std::deque<WriteTicket> window;
+    for (auto _ : state) {
+      WriteTicket ticket = add ? engine.SubmitAddEdge(src, dst, "friend")
+                               : engine.SubmitRemoveEdge(src, dst, "friend");
+      add = !add;
+      window.push_back(std::move(ticket));
+      if (window.size() >= kPipelineWindow) {
+        (void)window.front().Wait();
+        window.pop_front();
+      }
+    }
+    for (const WriteTicket& t : window) (void)t.Wait();
+    state.SetItemsProcessed(0);  // writer ops are not decisions
+    return;
+  }
+  RunZipfReader(state, *f.engine, f.resources);
+}
+BENCHMARK(BM_ReadWriteInterferenceZipf)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// The no-writer baseline for the series above: the same Zipf reader
+/// mix with the write pipeline idle.
+void BM_ReadOnlyZipf(benchmark::State& state) {
+  InterferenceFixture& f = GetInterferenceFixture();
+  RunZipfReader(state, *f.engine, f.resources);
+}
+BENCHMARK(BM_ReadOnlyZipf)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace bench

@@ -38,13 +38,24 @@ thread_local TlsViewCache tls_view_cache;
 
 }  // namespace
 
+namespace {
+MutationQueueOptions QueueOptionsFrom(const EngineOptions& options) {
+  MutationQueueOptions qopts;
+  qopts.capacity = options.write_queue_capacity;
+  qopts.max_batch = options.write_queue_max_batch;
+  return qopts;
+}
+}  // namespace
+
 AccessControlEngine::AccessControlEngine(const SocialGraph& graph,
                                          const PolicyStore& store,
                                          EngineOptions options)
     : graph_(&graph),
       store_(&store),
       options_(options),
-      engine_id_(NextEngineId()) {}
+      engine_id_(NextEngineId()),
+      write_queue_(
+          std::make_unique<MutationQueue>(this, QueueOptionsFrom(options))) {}
 
 AccessControlEngine::AccessControlEngine(SocialGraph& graph,
                                          const PolicyStore& store,
@@ -53,9 +64,15 @@ AccessControlEngine::AccessControlEngine(SocialGraph& graph,
       mutable_graph_(&graph),
       store_(&store),
       options_(options),
-      engine_id_(NextEngineId()) {}
+      engine_id_(NextEngineId()),
+      write_queue_(
+          std::make_unique<MutationQueue>(this, QueueOptionsFrom(options))) {}
 
 AccessControlEngine::~AccessControlEngine() {
+  // Queue first: a draining batch can kick a compaction, so the
+  // compaction thread must still be alive while the writer thread winds
+  // down. Queued-but-unapplied mutations complete kUnavailable.
+  write_queue_->Shutdown();
   {
     std::lock_guard<std::mutex> lock(comp_mu_);
     comp_shutdown_ = true;
@@ -159,6 +176,7 @@ Status AccessControlEngine::RebuildIndexes() {
 }
 
 Status AccessControlEngine::RefreshPolicies() {
+  if (options_.async_mutations) return SubmitRefreshPolicies().Wait().status;
   std::lock_guard<std::mutex> lock(mutation_mu_);
   if (!built_) {
     return Status::FailedPrecondition(
@@ -208,6 +226,9 @@ Status AccessControlEngine::CheckEndpoints(NodeId src, NodeId dst) const {
 
 Status AccessControlEngine::AddEdge(NodeId src, NodeId dst,
                                     const std::string& label) {
+  if (options_.async_mutations) {
+    return SubmitAddEdge(src, dst, label).Wait().status;
+  }
   std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   // Validate fully *before* interning: a failed AddEdge must leave the
@@ -227,6 +248,9 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst,
 }
 
 Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  if (options_.async_mutations) {
+    return SubmitAddEdge(src, dst, label).Wait().status;
+  }
   std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   if (label >= graph_->labels().size()) {
@@ -240,6 +264,9 @@ Status AccessControlEngine::AddEdge(NodeId src, NodeId dst, LabelId label) {
 
 Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
                                        const std::string& label) {
+  if (options_.async_mutations) {
+    return SubmitRemoveEdge(src, dst, label).Wait().status;
+  }
   std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   const LabelId id = graph_->labels().Lookup(label);
@@ -253,6 +280,9 @@ Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst,
 }
 
 Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
+  if (options_.async_mutations) {
+    return SubmitRemoveEdge(src, dst, label).Wait().status;
+  }
   std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   if (label >= graph_->labels().size()) {
@@ -265,6 +295,11 @@ Status AccessControlEngine::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
 }
 
 Result<NodeId> AccessControlEngine::AddNode() {
+  if (options_.async_mutations) {
+    WriteOutcome out = SubmitAddNode().Wait();
+    if (!out.status.ok()) return out.status;
+    return out.node;
+  }
   std::lock_guard<std::mutex> lock(mutation_mu_);
   SARGUS_RETURN_IF_ERROR(CheckMutable());
   const NodeId id = static_cast<NodeId>(LogicalNumNodesLocked());
@@ -276,6 +311,220 @@ Result<NodeId> AccessControlEngine::AddNode() {
       WalLogLocked(storage::WalRecord::Kind::kAddNode, 0, 0, kInvalidLabel));
   SARGUS_RETURN_IF_ERROR(FinishMutation());
   return id;
+}
+
+// ---- Queued mutation front end ----------------------------------------------
+
+WriteTicket AccessControlEngine::SubmitAddEdge(NodeId src, NodeId dst,
+                                               const std::string& label) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAddEdge;
+  op.src = src;
+  op.dst = dst;
+  op.by_name = true;
+  op.label_name = label;
+  return write_queue_->Submit(std::move(op));
+}
+
+WriteTicket AccessControlEngine::SubmitAddEdge(NodeId src, NodeId dst,
+                                               LabelId label) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAddEdge;
+  op.src = src;
+  op.dst = dst;
+  op.label = label;
+  return write_queue_->Submit(std::move(op));
+}
+
+WriteTicket AccessControlEngine::SubmitRemoveEdge(NodeId src, NodeId dst,
+                                                  const std::string& label) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kRemoveEdge;
+  op.src = src;
+  op.dst = dst;
+  op.by_name = true;
+  op.label_name = label;
+  return write_queue_->Submit(std::move(op));
+}
+
+WriteTicket AccessControlEngine::SubmitRemoveEdge(NodeId src, NodeId dst,
+                                                  LabelId label) {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kRemoveEdge;
+  op.src = src;
+  op.dst = dst;
+  op.label = label;
+  return write_queue_->Submit(std::move(op));
+}
+
+WriteTicket AccessControlEngine::SubmitAddNode() {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kAddNode;
+  return write_queue_->Submit(std::move(op));
+}
+
+WriteTicket AccessControlEngine::SubmitRefreshPolicies() {
+  WriteOp op;
+  op.kind = WriteOp::Kind::kRefreshPolicies;
+  return write_queue_->Submit(std::move(op));
+}
+
+storage::WalRecord AccessControlEngine::MakeWalRecordLocked(
+    storage::WalRecord::Kind kind, NodeId src, NodeId dst,
+    LabelId label) const {
+  storage::WalRecord rec;
+  rec.kind = kind;
+  // The stamp is read *after* the mutation staged, so it names the state
+  // the record produced; replay applies records strictly above the
+  // bundle's stamp, which names the state the bundle captured.
+  rec.generation = snapshot_generation_.load(std::memory_order_relaxed);
+  rec.overlay_version = overlay_.version();
+  rec.src = src;
+  rec.dst = dst;
+  // Edge records carry the label *name*: a label interned after the
+  // bundle was saved has no id in the bundle's dictionary, and replay
+  // re-interns through the AddEdge staging path.
+  if (label != kInvalidLabel) rec.label = graph_->labels().ToString(label);
+  return rec;
+}
+
+Status AccessControlEngine::WalCommitBatchLocked(
+    std::span<const storage::WalRecord> recs) {
+  if (!durable_ || wal_replaying_ || recs.empty()) return OkStatus();
+  return wal_.AppendBatch(recs);
+}
+
+Status AccessControlEngine::ApplyOneLocked(
+    const WriteOp& op, WriteOutcome* out,
+    std::vector<storage::WalRecord>* wal_batch) {
+  SARGUS_RETURN_IF_ERROR(CheckMutable());
+  switch (op.kind) {
+    case WriteOp::Kind::kAddEdge: {
+      LabelId id = op.label;
+      if (op.by_name) {
+        // Validate fully *before* interning: a failed AddEdge must
+        // leave the graph (including its label dictionary) untouched.
+        SARGUS_RETURN_IF_ERROR(CheckEndpoints(op.src, op.dst));
+        id = graph_->labels().Lookup(op.label_name);
+        if (id == kInvalidLabel) {
+          id = mutable_graph_->labels().Intern(op.label_name);
+          if (id == kInvalidLabel) {
+            return Status::ResourceExhausted("AddEdge: label dictionary full");
+          }
+        }
+      } else if (id >= graph_->labels().size()) {
+        return Status::InvalidArgument("AddEdge: unknown label id");
+      }
+      SARGUS_RETURN_IF_ERROR(StageAddEdge(op.src, op.dst, id));
+      if (wal_batch != nullptr) {
+        wal_batch->push_back(MakeWalRecordLocked(
+            storage::WalRecord::Kind::kAddEdge, op.src, op.dst, id));
+      }
+      return OkStatus();
+    }
+    case WriteOp::Kind::kRemoveEdge: {
+      LabelId id = op.label;
+      if (op.by_name) {
+        id = graph_->labels().Lookup(op.label_name);
+        if (id == kInvalidLabel) {
+          return Status::NotFound("RemoveEdge: unknown label '" +
+                                  op.label_name + "'");
+        }
+      } else if (id >= graph_->labels().size()) {
+        return Status::NotFound("RemoveEdge: unknown label id");
+      }
+      SARGUS_RETURN_IF_ERROR(StageRemoveEdge(op.src, op.dst, id));
+      if (wal_batch != nullptr) {
+        wal_batch->push_back(MakeWalRecordLocked(
+            storage::WalRecord::Kind::kRemoveEdge, op.src, op.dst, id));
+      }
+      return OkStatus();
+    }
+    case WriteOp::Kind::kAddNode: {
+      const NodeId id = static_cast<NodeId>(LogicalNumNodesLocked());
+      (void)overlay_.StageNode();
+      if (building_) {
+        journal_.push_back({JournalOp::Kind::kAddNode, 0, 0, kInvalidLabel});
+      }
+      if (wal_batch != nullptr) {
+        wal_batch->push_back(MakeWalRecordLocked(
+            storage::WalRecord::Kind::kAddNode, 0, 0, kInvalidLabel));
+      }
+      out->node = id;
+      return OkStatus();
+    }
+    case WriteOp::Kind::kRefreshPolicies:
+      break;  // handled by ApplyWriteBatch (needs no mutable graph)
+  }
+  return Status::InvalidArgument("unhandled write op kind");
+}
+
+void AccessControlEngine::ApplyWriteBatch(std::span<const WriteOp> ops,
+                                          WriteOutcome* outcomes) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  std::vector<storage::WalRecord> wal_batch;
+  if (durable_ && !wal_replaying_) wal_batch.reserve(ops.size());
+  std::vector<storage::WalRecord>* wal_sink =
+      (durable_ && !wal_replaying_) ? &wal_batch : nullptr;
+  bool any_graph_mutation = false;
+  bool policy_refreshed = false;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    WriteOutcome& out = outcomes[i];
+    if (ops[i].kind == WriteOp::Kind::kRefreshPolicies) {
+      // Policy refresh needs built indexes but not the mutable-graph
+      // constructor (same guard as the legacy call).
+      if (!built_) {
+        out.status = Status::FailedPrecondition(
+            "RefreshPolicies: call RebuildIndexes() first");
+      } else {
+        out.status = OkStatus();
+        if (RefreshPolicySnapshotIfStale()) {
+          policy_refreshed = true;
+          if (wal_sink != nullptr) {
+            wal_sink->push_back(MakeWalRecordLocked(
+                storage::WalRecord::Kind::kPolicyRefresh, 0, 0,
+                kInvalidLabel));
+          }
+        }
+      }
+    } else {
+      out.status = ApplyOneLocked(ops[i], &out, wal_sink);
+      if (out.status.ok()) any_graph_mutation = true;
+    }
+    // Per-op stamp, read right after the op staged — identical to the
+    // stamp its WAL record carries (failed ops get the stamp of the
+    // state that rejected them).
+    out.generation = snapshot_generation_.load(std::memory_order_relaxed);
+    out.overlay_version = overlay_.version();
+  }
+
+  // The group commit: one gathered WAL write + one fsync for every
+  // record the batch produced, *before* any ticket observes OK.
+  const Status wal_status = WalCommitBatchLocked(wal_batch);
+  if (!wal_status.ok()) {
+    // An acknowledged mutation must be WAL-durable. Fail every op that
+    // believed it committed; their staged effects surface on the next
+    // publish, matching the legacy per-record failure path (which also
+    // stages before it logs) — and no view is published here.
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (outcomes[i].status.ok()) outcomes[i].status = wal_status;
+    }
+    return;
+  }
+
+  if (any_graph_mutation) {
+    // One publication (and at most one compaction kick) for the whole
+    // batch — the amortization the queue exists for. A failed tail
+    // (synchronous compaction) is batch-wide.
+    const Status fin = FinishMutation();
+    if (!fin.ok()) {
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (outcomes[i].status.ok()) outcomes[i].status = fin;
+      }
+    }
+  } else if (policy_refreshed) {
+    PublishView();
+  }
 }
 
 bool AccessControlEngine::EdgeInBaseLocked(NodeId src, NodeId dst,
@@ -578,20 +827,9 @@ Status AccessControlEngine::WalLogLocked(storage::WalRecord::Kind kind,
                                          NodeId src, NodeId dst,
                                          LabelId label) {
   if (!durable_ || wal_replaying_) return OkStatus();
-  storage::WalRecord rec;
-  rec.kind = kind;
-  // The stamp is read *after* the mutation staged, so it names the state
-  // the record produced; replay applies records strictly above the
-  // bundle's stamp, which names the state the bundle captured.
-  rec.generation = snapshot_generation_.load(std::memory_order_relaxed);
-  rec.overlay_version = overlay_.version();
-  rec.src = src;
-  rec.dst = dst;
-  // Edge records carry the label *name*: a label interned after the
-  // bundle was saved has no id in the bundle's dictionary, and replay
-  // re-interns through the public AddEdge path.
-  if (label != kInvalidLabel) rec.label = graph_->labels().ToString(label);
-  return wal_.Append(rec);
+  // The inline (async_mutations off) path: one record, synced per the
+  // configured policy. The batched path goes through WalCommitBatchLocked.
+  return wal_.Append(MakeWalRecordLocked(kind, src, dst, label));
 }
 
 Status AccessControlEngine::SaveSnapshotLocked() {
@@ -650,28 +888,58 @@ Status AccessControlEngine::EnableDurability(const std::string& dir,
 
 Status AccessControlEngine::ReplayWal(std::span<const storage::WalRecord> records,
                                       const storage::SnapshotStamp& covered) {
-  wal_replaying_ = true;
-  Status status = OkStatus();
+  // Convert the uncovered suffix into WriteOps and push them through the
+  // group-commit body in bounded batches: recovery pays one published
+  // view per batch instead of one per record. Edge records replay by
+  // label *name* (re-interning exactly like the original call did).
+  std::vector<WriteOp> ops;
+  ops.reserve(records.size());
   for (const auto& rec : records) {
     const storage::SnapshotStamp stamp{rec.generation, rec.overlay_version};
     if (stamp <= covered) continue;  // bundle already captured this record
+    WriteOp op;
     switch (rec.kind) {
       case storage::WalRecord::Kind::kAddEdge:
-        status = AddEdge(rec.src, rec.dst, rec.label);
+        op.kind = WriteOp::Kind::kAddEdge;
+        op.src = rec.src;
+        op.dst = rec.dst;
+        op.by_name = true;
+        op.label_name = rec.label;
         break;
       case storage::WalRecord::Kind::kRemoveEdge:
-        status = RemoveEdge(rec.src, rec.dst, rec.label);
+        op.kind = WriteOp::Kind::kRemoveEdge;
+        op.src = rec.src;
+        op.dst = rec.dst;
+        op.by_name = true;
+        op.label_name = rec.label;
         break;
       case storage::WalRecord::Kind::kAddNode:
-        status = AddNode().status();
+        op.kind = WriteOp::Kind::kAddNode;
         break;
       case storage::WalRecord::Kind::kPolicyRefresh:
-        status = RefreshPolicies();
+        op.kind = WriteOp::Kind::kRefreshPolicies;
         break;
     }
-    if (!status.ok()) break;
+    ops.push_back(std::move(op));
   }
-  wal_replaying_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    wal_replaying_ = true;  // suppress WAL re-appends
+  }
+  Status status = OkStatus();
+  const size_t batch = std::max<size_t>(1, options_.write_queue_max_batch);
+  std::vector<WriteOutcome> outcomes;
+  for (size_t off = 0; off < ops.size() && status.ok(); off += batch) {
+    const size_t n = std::min(batch, ops.size() - off);
+    outcomes.assign(n, WriteOutcome{});
+    ApplyWriteBatch(std::span<const WriteOp>(ops.data() + off, n),
+                    outcomes.data());
+    for (size_t i = 0; i < n && status.ok(); ++i) status = outcomes[i].status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    wal_replaying_ = false;
+  }
   if (!status.ok()) {
     return Status::DataLoss("wal replay failed: " + status.ToString());
   }

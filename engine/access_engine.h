@@ -73,24 +73,41 @@
 /// snapshot), as does any request naming a node the serving view has
 /// never seen.
 ///
-/// Thread-safety contract (single-writer / multi-reader):
+/// Thread-safety contract (multi-writer / multi-reader):
 ///
 ///  * READERS — `CheckAccess`, `CheckAccessBatch`, `AcquireReadView`,
 ///    `AuditTrail` and every AccessReadView method are safe to call from
 ///    any number of threads concurrently, including concurrently with
-///    one writer and with the compaction thread. The view read path
+///    writers and with the compaction thread. The view read path
 ///    takes no lock; the engine facade additionally locks a small mutex
 ///    per decision to feed the audit ring (set audit_capacity = 0 to
 ///    remove that too).
-///  * WRITERS — `RebuildIndexes`, `AddEdge`, `RemoveEdge`, `AddNode`,
-///    `Compact`, `RefreshPolicies`, `WaitForCompaction` must be
-///    externally serialized against each other: at most one external
-///    writer at a time. They never block readers. The engine's own
-///    compaction thread acts as a second, *internal* writer only for
-///    the brief completion swap; an internal mutex serializes it
-///    against the external writer, so writer calls remain safe (and
-///    cheap — the expensive build runs outside any lock) while a
-///    compaction is in flight.
+///  * MUTATIONS — `AddEdge`, `RemoveEdge`, `AddNode`, `RefreshPolicies`
+///    (and their Submit* siblings) are safe to call from any number of
+///    threads concurrently. With EngineOptions::async_mutations (the
+///    default) every mutation is routed through the engine's
+///    MutationQueue (engine/write_queue.h): SubmitX() enqueues and
+///    returns a WriteTicket; the legacy synchronous calls are
+///    Submit+Wait shims over the same queue, so concurrent callers are
+///    serialized by submission order and committed in group-commit
+///    batches (one WAL fsync + one published view per batch). This
+///    retires the old contract that pushed writer serialization onto
+///    callers. With async_mutations off the legacy inline path runs
+///    instead, and mutations revert to requiring external
+///    serialization (the mutex-serialized baseline the concurrency
+///    bench measures).
+///  * CONTROL PLANE — `RebuildIndexes`, `Compact`, `WaitForCompaction`,
+///    `EnableDurability`, `SaveSnapshot` remain one-at-a-time calls:
+///    externally serialize them against each other. They are safe
+///    concurrently with queued mutations (everything meets on the
+///    internal writer lock), but RebuildIndexes discards staged state,
+///    so interleaving it with in-flight submissions is almost never
+///    what you want — FlushWrites() first. The engine's own compaction
+///    thread acts as an additional *internal* writer only for the brief
+///    completion swap; the internal mutex serializes it against the
+///    mutation path, so writer calls remain safe (and cheap — the
+///    expensive build runs outside any lock) while a compaction is in
+///    flight.
 ///  * OUT OF SCOPE — mutating the SocialGraph or PolicyStore objects
 ///    directly (AddNode, SetAttribute, AddRuleFromPaths, ...) while
 ///    readers are in flight is not synchronized by the engine; quiesce
@@ -138,6 +155,7 @@
 #include "common/result.h"
 #include "engine/policy.h"
 #include "engine/read_view.h"
+#include "engine/write_queue.h"
 #include "graph/delta_overlay.h"
 #include "storage/wal.h"
 
@@ -155,8 +173,13 @@ struct SnapshotStamp;  // snapshot_format.h
 /// a serving engine without recomputing a single index.
 struct DurabilityOptions {
   /// fdatasync every WAL append (default): an acknowledged mutation
-  /// survives a crash. kNever trades that tail for append speed; reopen
-  /// still never corrupts (the torn tail is detected and truncated).
+  /// survives a crash. kGroupCommit fsyncs once per queued batch —
+  /// with async_mutations that is still "every acknowledged mutation
+  /// survives" (tickets complete after the batch sync) at a fraction of
+  /// the fsyncs; with the inline path it degrades single appends to
+  /// ride the next sync. kNever trades the tail for append speed;
+  /// reopen never corrupts either way (a torn tail — torn batch
+  /// included — is detected and truncated).
   storage::WalSyncPolicy wal_sync = storage::WalSyncPolicy::kEveryRecord;
   /// Truncate the WAL once a bundle covering it is durably published.
   /// Tests turn this off to exercise the crash window between "bundle
@@ -193,7 +216,8 @@ class AccessControlEngine {
   AccessControlEngine(const AccessControlEngine&) = delete;
   AccessControlEngine& operator=(const AccessControlEngine&) = delete;
 
-  // ---- Write path (externally serialized; see file comment) ---------------
+  // ---- Write path (thread-safe mutations; control plane externally
+  // serialized — see file comment) ------------------------------------------
 
   /// (Re)builds every snapshot index the configuration needs and
   /// publishes a fresh view. Call after construction (and after mutating
@@ -257,6 +281,35 @@ class AccessControlEngine {
   /// policy-only changes.)
   Status RefreshPolicies();
 
+  // ---- Async mutation surface (thread-safe from any thread) ---------------
+  //
+  // SubmitX() enqueues the mutation on the engine's MutationQueue and
+  // returns a future-backed WriteTicket immediately; the dedicated
+  // writer thread group-commits queued mutations in batches (one WAL
+  // fsync + one published view per batch — see engine/write_queue.h).
+  // ticket.Wait() returns the same Status the synchronous call would
+  // have, plus the (generation, overlay_version) stamp the mutation
+  // landed in. Works regardless of async_mutations (the option only
+  // controls whether the *legacy* calls above shim through the queue).
+
+  WriteTicket SubmitAddEdge(NodeId src, NodeId dst, const std::string& label);
+  WriteTicket SubmitAddEdge(NodeId src, NodeId dst, LabelId label);
+  WriteTicket SubmitRemoveEdge(NodeId src, NodeId dst,
+                               const std::string& label);
+  WriteTicket SubmitRemoveEdge(NodeId src, NodeId dst, LabelId label);
+  /// Outcome carries the assigned id in WriteOutcome::node.
+  WriteTicket SubmitAddNode();
+  WriteTicket SubmitRefreshPolicies();
+
+  /// Blocks until every mutation submitted before the call has been
+  /// committed (or refused). Call before control-plane operations that
+  /// discard staged state (RebuildIndexes) and before reading
+  /// writer-side introspection accessors from a non-writer thread.
+  void FlushWrites() { write_queue_->Flush(); }
+
+  /// The engine-owned MPSC queue (stats(), PauseForTesting()).
+  MutationQueue& write_queue() { return *write_queue_; }
+
   // ---- Durability (write path; externally serialized like the rest) -------
 
   /// Attaches a durability directory: saves an initial bundle covering
@@ -293,6 +346,17 @@ class AccessControlEngine {
   uint64_t wal_size_bytes() const {
     std::lock_guard<std::mutex> lock(mutation_mu_);
     return wal_.is_open() ? wal_.size() : 0;
+  }
+  /// WAL records appended / fsyncs issued by appends since durability
+  /// was enabled — the "one fsync per group-commit batch" tests read
+  /// the pair. FlushWrites() first when producers are in flight.
+  uint64_t wal_append_count() const {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    return wal_.is_open() ? wal_.append_count() : 0;
+  }
+  uint64_t wal_sync_count() const {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    return wal_.is_open() ? wal_.sync_count() : 0;
   }
 
   // ---- Read path (thread-safe, lock-free except the audit ring) -----------
@@ -368,6 +432,8 @@ class AccessControlEngine {
   }
 
  private:
+  friend class MutationQueue;  // calls ApplyWriteBatch from the writer thread
+
   /// One replayable writer operation staged while a compaction build is
   /// in flight. Replaying the sequence against the folded graph
   /// re-derives the overlay relative to the *new* snapshot.
@@ -401,6 +467,32 @@ class AccessControlEngine {
   /// journals the op when a compaction build is in flight.
   Status StageAddEdge(NodeId src, NodeId dst, LabelId label);
   Status StageRemoveEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// The group-commit body, called by the MutationQueue writer thread
+  /// (and by WAL replay): applies `ops` in order under ONE mutation_mu_
+  /// acquisition, collecting each op's WAL record as it stages, then
+  /// appends the whole record batch with one Wal::AppendBatch (one
+  /// fsync) and publishes ONE view. outcomes[i] receives op i's status
+  /// and the per-op (generation, overlay_version) stamp — identical to
+  /// the stamp op i's WAL record carries. Errors are isolated per op
+  /// (a bad op fails only its own outcome) except batch-wide failures
+  /// (WAL append, synchronous compaction), which overwrite every
+  /// previously-OK outcome in the batch.
+  void ApplyWriteBatch(std::span<const WriteOp> ops, WriteOutcome* outcomes);
+  /// Stages one op (no WAL, no publish); fills `out`'s stamp/node and
+  /// appends the op's WAL record to `wal_batch` on success. Caller
+  /// holds mutation_mu_.
+  Status ApplyOneLocked(const WriteOp& op, WriteOutcome* out,
+                        std::vector<storage::WalRecord>* wal_batch);
+  /// Builds one stamped record from the current writer state. Caller
+  /// holds mutation_mu_; pass kInvalidLabel for label-less kinds.
+  storage::WalRecord MakeWalRecordLocked(storage::WalRecord::Kind kind,
+                                         NodeId src, NodeId dst,
+                                         LabelId label) const;
+  /// Appends `recs` with one gathered write + at most one fsync
+  /// (Wal::AppendBatch). No-op unless durable (and not mid-replay).
+  /// Caller holds mutation_mu_.
+  Status WalCommitBatchLocked(std::span<const storage::WalRecord> recs);
 
   /// Is (src, dst, label) a live edge of the base snapshot? Uses the
   /// graph's triple map when materialized, else the CSR adjacency (so a
@@ -450,8 +542,10 @@ class AccessControlEngine {
   /// holds mutation_mu_; pass kInvalidLabel for label-less kinds.
   Status WalLogLocked(storage::WalRecord::Kind kind, NodeId src, NodeId dst,
                       LabelId label);
-  /// Re-applies the uncovered suffix of `records` through the public
-  /// mutation path (with WAL re-appends suppressed). OpenFromDir only.
+  /// Re-applies the uncovered suffix of `records` through
+  /// ApplyWriteBatch in bounded batches (with WAL re-appends
+  /// suppressed), so recovery pays one view publication per batch
+  /// instead of one per record. OpenFromDir only.
   Status ReplayWal(std::span<const storage::WalRecord> records,
                    const storage::SnapshotStamp& covered);
   /// RebuildIndexes body; caller holds mutation_mu_.
@@ -530,6 +624,12 @@ class AccessControlEngine {
   std::string durability_dir_;
   DurabilityOptions durability_;
   storage::WalWriter wal_;
+
+  /// The MPSC write front end (engine/write_queue.h). Constructed with
+  /// the engine (its writer thread starts lazily on the first Submit);
+  /// the destructor shuts it down *before* the compaction thread, since
+  /// applying a batch can kick a compaction.
+  std::unique_ptr<MutationQueue> write_queue_;
 
   /// Audit ring, shared by all reader threads.
   mutable std::mutex audit_mu_;

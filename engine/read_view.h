@@ -115,6 +115,20 @@ struct EngineOptions {
   /// SnapshotIndexes::BuildIncremental). 0 disables incremental
   /// maintenance.
   double incremental_max_fraction = 0.05;
+  /// Route the legacy synchronous mutation calls (AddEdge / RemoveEdge /
+  /// AddNode / RefreshPolicies) through the engine's MPSC MutationQueue
+  /// as Submit+Wait shims (engine/write_queue.h): mutations become safe
+  /// to call from any number of threads, serialized by submission order
+  /// and committed in group-commit batches. Off = the pre-queue inline
+  /// path, which requires callers to serialize mutations externally
+  /// (kept as the mutex-serialized baseline bench_concurrency measures
+  /// the queue against). The SubmitX() surface works either way.
+  bool async_mutations = true;
+  /// Mutations the queue holds before Submit blocks (backpressure).
+  size_t write_queue_capacity = 4096;
+  /// Most mutations the writer thread drains into one group-commit
+  /// batch (one WAL fsync, one published view).
+  size_t write_queue_max_batch = 512;
 
   static constexpr size_t kCompactThresholdAuto =
       std::numeric_limits<size_t>::max();

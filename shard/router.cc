@@ -929,6 +929,7 @@ std::vector<Result<AccessDecision>> ShardRouter::CheckAccessBatch(
 }
 
 Status ShardRouter::AddEdge(NodeId src, NodeId dst, const std::string& label) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
@@ -947,10 +948,15 @@ Status ShardRouter::AddEdge(NodeId src, NodeId dst, const std::string& label) {
       return Status::Internal("AddEdge: label dictionaries diverged");
     }
   }
-  return AddEdge(src, dst, id);
+  return AddEdgeImpl(src, dst, id);
 }
 
 Status ShardRouter::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return AddEdgeImpl(src, dst, label);
+}
+
+Status ShardRouter::AddEdgeImpl(NodeId src, NodeId dst, LabelId label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
@@ -1012,6 +1018,7 @@ Status ShardRouter::AddEdge(NodeId src, NodeId dst, LabelId label) {
 
 Status ShardRouter::RemoveEdge(NodeId src, NodeId dst,
                                const std::string& label) {
+  std::lock_guard<std::mutex> lock(write_mu_);
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
@@ -1022,10 +1029,15 @@ Status ShardRouter::RemoveEdge(NodeId src, NodeId dst,
   if (id == kInvalidLabel) {
     return Status::NotFound("RemoveEdge: unknown label '" + label + "'");
   }
-  return RemoveEdge(src, dst, id);
+  return RemoveEdgeImpl(src, dst, id);
 }
 
 Status ShardRouter::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return RemoveEdgeImpl(src, dst, label);
+}
+
+Status ShardRouter::RemoveEdgeImpl(NodeId src, NodeId dst, LabelId label) {
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
@@ -1082,6 +1094,7 @@ Status ShardRouter::RemoveEdge(NodeId src, NodeId dst, LabelId label) {
 }
 
 Result<NodeId> ShardRouter::AddNode() {
+  std::lock_guard<std::mutex> lock(write_mu_);
   if (!built_) {
     return Status::FailedPrecondition("ShardRouter: Build() not called");
   }
@@ -1105,16 +1118,31 @@ Result<NodeId> ShardRouter::AddNode() {
   const NodeId expected = static_cast<NodeId>(topo->shard_of.size());
   wire::MutateRequest req;
   req.op = wire::MutateOp::kAddNode;
-  for (auto& shard : shards_) {
-    const wire::MutateReply reply = shard->Mutate(req);
-    SARGUS_RETURN_IF_ERROR(wire::UnpackStatus(reply.status_code, reply.error));
-    if (reply.new_node != expected) {
-      return Status::Internal(
+  // Fan the round out through the per-shard mutation queues and gather
+  // the tickets: N shards assign the id concurrently. write_mu_ keeps
+  // any other router AddNode from interleaving its submissions, so each
+  // shard sees exactly one AddNode and alignment still holds.
+  std::vector<WriteTicket> tickets;
+  tickets.reserve(shards_.size());
+  for (auto& shard : shards_) tickets.push_back(shard->SubmitMutate(req));
+  Status failed = OkStatus();
+  for (const WriteTicket& ticket : tickets) {
+    const wire::MutateReply reply =
+        ShardEngine::ReplyFromOutcome(req, ticket.Wait());
+    const Status st = wire::UnpackStatus(reply.status_code, reply.error);
+    if (!st.ok()) {
+      // Drain every ticket before failing — no abandoned futures.
+      if (failed.ok()) failed = st;
+      continue;
+    }
+    if (failed.ok() && reply.new_node != expected) {
+      failed = Status::Internal(
           "AddNode: shard node ids diverged (got " +
           std::to_string(reply.new_node) + ", expected " +
           std::to_string(expected) + ")");
     }
   }
+  SARGUS_RETURN_IF_ERROR(failed);
   uint32_t target = 0;
   for (uint32_t s = 1; s < loads_.size(); ++s) {
     if (loads_[s] < loads_[target]) target = s;

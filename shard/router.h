@@ -227,7 +227,17 @@ class ShardRouter {
 
   RouterCounters counters() const;
 
-  // ---- Write path (externally serialized, like the engine's) --------------
+  // ---- Write path (thread-safe: router-level mutations serialize on an
+  // internal lock, then flow through each shard's MutationQueue) ------------
+  //
+  // AddEdge/RemoveEdge/AddNode may be called from any number of threads
+  // concurrently. An internal write lock makes each call's multi-shard
+  // protocol atomic with respect to other router mutations — the
+  // cut-edge both-shards sequence (apply s1, apply s2, roll back s1 on
+  // transport failure) and the AddNode all-shards id-alignment round
+  // never interleave — while inside each shard the mutation rides the
+  // engine's queue like any other producer's. Fail-stop-before-apply
+  // on transport mutations (PR 7/8) is unchanged.
 
   Status AddEdge(NodeId src, NodeId dst, const std::string& label);
   Status AddEdge(NodeId src, NodeId dst, LabelId label);
@@ -236,6 +246,9 @@ class ShardRouter {
 
   /// Adds one node to every shard (ids stay aligned across shards) and
   /// assigns it to the least-loaded shard in a republished topology.
+  /// The all-shards round fans out through the per-shard queues
+  /// (ShardEngine::SubmitMutate) and gathers the tickets, so N shards
+  /// assign the id concurrently, not serially.
   Result<NodeId> AddNode();
 
   /// Rebuilds every shard's boundary summary against its current view.
@@ -345,6 +358,11 @@ class ShardRouter {
   Result<wire::MutateReply> CallMutate(uint32_t shard,
                                        const wire::MutateRequest& req);
 
+  /// Resolved-label mutation bodies; caller holds write_mu_ (the public
+  /// by-name overloads resolve/pre-intern the label, then delegate).
+  Status AddEdgeImpl(NodeId src, NodeId dst, LabelId label);
+  Status RemoveEdgeImpl(NodeId src, NodeId dst, LabelId label);
+
   /// True when the router serves a single shard directly, bypassing the
   /// transport (no decorator, no executor).
   bool DirectSingleShard() const {
@@ -373,7 +391,14 @@ class ShardRouter {
   mutable std::mutex topo_mu_;
   std::shared_ptr<const ShardTopology> topo_;
 
-  /// Writer-side per-shard node loads, for AddNode placement.
+  /// Serializes router-level mutation protocols (cut-edge both-shards
+  /// sequences, the AddNode fan-out, label pre-interning) against each
+  /// other so concurrent callers cannot interleave their multi-shard
+  /// steps. Per-shard serialization happens in the shard engines'
+  /// MutationQueues; this lock only orders the router's own protocol.
+  std::mutex write_mu_;
+  /// Writer-side per-shard node loads, for AddNode placement. Guarded
+  /// by write_mu_.
   std::vector<size_t> loads_;
 
   struct AtomicCounters {

@@ -247,37 +247,44 @@ wire::WalkReply ShardEngine::ExpandFrontier(
   return reply;
 }
 
-wire::MutateReply ShardEngine::Mutate(const wire::MutateRequest& request) {
-  wire::MutateReply reply;
-  Status status = OkStatus();
+WriteTicket ShardEngine::SubmitMutate(const wire::MutateRequest& request) {
   switch (request.op) {
     case wire::MutateOp::kAddEdge:
-      status = request.label != kInvalidLabel
-                   ? engine_.AddEdge(request.src, request.dst, request.label)
-                   : engine_.AddEdge(request.src, request.dst,
-                                     request.label_name);
-      break;
+      return request.label != kInvalidLabel
+                 ? engine_.SubmitAddEdge(request.src, request.dst,
+                                         request.label)
+                 : engine_.SubmitAddEdge(request.src, request.dst,
+                                         request.label_name);
     case wire::MutateOp::kRemoveEdge:
-      status = request.label != kInvalidLabel
-                   ? engine_.RemoveEdge(request.src, request.dst,
-                                        request.label)
-                   : engine_.RemoveEdge(request.src, request.dst,
-                                        request.label_name);
-      break;
-    case wire::MutateOp::kAddNode: {
-      Result<NodeId> added = engine_.AddNode();
-      if (added.ok()) {
-        reply.new_node = *added;
-      } else {
-        status = added.status();
-      }
-      break;
-    }
+      return request.label != kInvalidLabel
+                 ? engine_.SubmitRemoveEdge(request.src, request.dst,
+                                            request.label)
+                 : engine_.SubmitRemoveEdge(request.src, request.dst,
+                                            request.label_name);
+    case wire::MutateOp::kAddNode:
+      return engine_.SubmitAddNode();
   }
-  reply.status_code = wire::PackStatus(status);
-  if (!status.ok()) reply.error = std::string(status.message());
-  reply.stamp = {engine_.snapshot_generation(), engine_.overlay_version()};
+  return WriteTicket();  // unknown op: invalid ticket (Wait fails)
+}
+
+wire::MutateReply ShardEngine::ReplyFromOutcome(
+    const wire::MutateRequest& request, const WriteOutcome& outcome) {
+  wire::MutateReply reply;
+  reply.status_code = wire::PackStatus(outcome.status);
+  if (!outcome.status.ok()) {
+    reply.error = std::string(outcome.status.message());
+  } else if (request.op == wire::MutateOp::kAddNode) {
+    reply.new_node = outcome.node;
+  }
+  // The ticket's stamp, not a racy re-read of the engine counters: the
+  // exact (generation, overlay_version) the mutation landed in even
+  // when other producers committed in the same or a later batch.
+  reply.stamp = {outcome.generation, outcome.overlay_version};
   return reply;
+}
+
+wire::MutateReply ShardEngine::Mutate(const wire::MutateRequest& request) {
+  return ReplyFromOutcome(request, SubmitMutate(request).Wait());
 }
 
 Status ShardEngine::RefreshSummary(const ShardTopology& topology,

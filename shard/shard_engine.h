@@ -16,8 +16,11 @@
 ///     resource owner (phase one) or at an imported frontier (phase two
 ///     and fallback rounds), returning acceptance plus every
 ///     configuration that escaped into nodes this shard does not own;
-///   * Mutate — the single-writer mutation entry point, delegating to
-///     the wrapped engine's staged write path;
+///   * Mutate / SubmitMutate — the mutation entry points, delegating to
+///     the wrapped engine's MPSC MutationQueue (engine/write_queue.h):
+///     SubmitMutate enqueues and returns the WriteTicket, Mutate is the
+///     Submit+Wait composition. Safe from any number of threads; the
+///     per-shard writer thread group-commits concurrent mutations;
 ///   * RefreshSummary — (re)build the shard's boundary summary against
 ///     its current read view.
 ///
@@ -92,12 +95,26 @@ class ShardEngine {
   /// Stamps of the currently published read view (what replies carry).
   wire::Stamp ViewStamp() const;
 
-  // ---- Wire request handlers (thread-safe reads, single-writer Mutate) ----
+  // ---- Wire request handlers (all thread-safe; mutations are
+  // serialized by the engine's per-shard MutationQueue) ---------------------
 
   wire::CheckReply Check(const wire::CheckRequest& request) const;
   wire::BatchCheckReply CheckBatch(const wire::BatchCheckRequest& request) const;
   wire::WalkReply ExpandFrontier(const wire::WalkRequest& request) const;
   wire::MutateReply Mutate(const wire::MutateRequest& request);
+
+  /// Async mutation: enqueues on the shard engine's MutationQueue and
+  /// returns the ticket immediately. The router's AddNode fan-out uses
+  /// this to run the all-shards id-alignment round concurrently; the
+  /// reply a waited ticket yields is ReplyFromOutcome(request, Wait()).
+  WriteTicket SubmitMutate(const wire::MutateRequest& request);
+
+  /// Packs a completed ticket outcome into the wire reply `Mutate`
+  /// would have returned: per-op status, the exact (generation,
+  /// overlay_version) stamp the mutation landed in, and the assigned id
+  /// for kAddNode.
+  static wire::MutateReply ReplyFromOutcome(const wire::MutateRequest& request,
+                                            const WriteOutcome& outcome);
 
   /// Byte-level dispatch: the entry point a socket server loop would
   /// hand incoming frames to. Parses `frame`, routes request messages
@@ -105,8 +122,9 @@ class ShardEngine {
   /// unparseable or non-request (a reply or error frame is not a valid
   /// thing to SEND a shard) comes back as an encoded wire::ErrorFrame —
   /// garbage in, a clean validated error frame out, never a crash.
-  /// Note: a kMutateRequest routed through HandleFrame takes the writer
-  /// path, so byte-level callers inherit the single-writer contract.
+  /// A kMutateRequest routed through HandleFrame goes through the
+  /// engine's MutationQueue like every other mutation, so concurrent
+  /// byte-level callers are safe (serialized by submission order).
   std::vector<uint8_t> HandleFrame(std::span<const uint8_t> frame);
 
   // ---- Boundary summary ---------------------------------------------------

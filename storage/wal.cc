@@ -171,7 +171,28 @@ Result<WalWriter> WalWriter::Open(const std::string& path,
 Status WalWriter::Append(const WalRecord& rec) {
   const std::vector<uint8_t> bytes = EncodeWalRecord(rec);
   SARGUS_RETURN_IF_ERROR(file_.Append(bytes));
+  append_count_ += 1;
   if (sync_policy_ == WalSyncPolicy::kEveryRecord) {
+    sync_count_ += 1;
+    return file_.Sync();
+  }
+  return OkStatus();
+}
+
+Status WalWriter::AppendBatch(std::span<const WalRecord> recs) {
+  if (recs.empty()) return OkStatus();
+  // One gathered write: sealing the batch into a single buffer keeps the
+  // kernel from interleaving anything between the records, and a crash
+  // mid-write tears only the suffix of this one write.
+  std::vector<uint8_t> bytes;
+  for (const WalRecord& rec : recs) {
+    const std::vector<uint8_t> one = EncodeWalRecord(rec);
+    bytes.insert(bytes.end(), one.begin(), one.end());
+  }
+  SARGUS_RETURN_IF_ERROR(file_.Append(bytes));
+  append_count_ += recs.size();
+  if (sync_policy_ != WalSyncPolicy::kNever) {
+    sync_count_ += 1;
     return file_.Sync();
   }
   return OkStatus();

@@ -214,6 +214,115 @@ TEST(Wal, TruncateResetsToHeader) {
   EXPECT_TRUE(contents->records.empty());
 }
 
+// AppendBatch round-trips byte-identically to N single Appends, and the
+// fsync accounting matches the policy table: kGroupCommit syncs once
+// per batch and never for single appends; kEveryRecord syncs every
+// single append but still only once per batch (nothing in a batch is
+// acknowledged before AppendBatch returns); kNever never syncs.
+TEST(Wal, AppendBatchRoundTripAndSyncCounters) {
+  TempDir dir;
+  const auto recs = SampleRecords();
+
+  {
+    const std::string path = dir.File("group.log");
+    auto w = storage::WalWriter::Open(path,
+                                      storage::WalSyncPolicy::kGroupCommit);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->AppendBatch(recs).ok());
+    EXPECT_EQ(w->append_count(), recs.size());
+    EXPECT_EQ(w->sync_count(), 1u);
+    ASSERT_TRUE(w->AppendBatch({}).ok());  // empty batch: no write, no sync
+    EXPECT_EQ(w->append_count(), recs.size());
+    EXPECT_EQ(w->sync_count(), 1u);
+    ASSERT_TRUE(w->Append(recs[0]).ok());  // single append rides, no sync
+    EXPECT_EQ(w->append_count(), recs.size() + 1);
+    EXPECT_EQ(w->sync_count(), 1u);
+
+    auto contents = storage::ReadWal(path);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_TRUE(contents->tail_status.ok());
+    ASSERT_EQ(contents->records.size(), recs.size() + 1);
+    ExpectRecordsEq(std::vector<WalRecord>(
+                        contents->records.begin(),
+                        contents->records.begin() +
+                            static_cast<std::ptrdiff_t>(recs.size())),
+                    recs, recs.size());
+  }
+  {
+    const std::string path = dir.File("every.log");
+    auto w = storage::WalWriter::Open(path,
+                                      storage::WalSyncPolicy::kEveryRecord);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append(recs[0]).ok());
+    ASSERT_TRUE(w->Append(recs[1]).ok());
+    EXPECT_EQ(w->sync_count(), 2u);
+    ASSERT_TRUE(w->AppendBatch(recs).ok());
+    EXPECT_EQ(w->append_count(), recs.size() + 2);
+    EXPECT_EQ(w->sync_count(), 3u);  // the whole batch cost one more
+  }
+  {
+    const std::string path = dir.File("never.log");
+    auto w = storage::WalWriter::Open(path, storage::WalSyncPolicy::kNever);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append(recs[0]).ok());
+    ASSERT_TRUE(w->AppendBatch(recs).ok());
+    EXPECT_EQ(w->append_count(), recs.size() + 1);
+    EXPECT_EQ(w->sync_count(), 0u);
+  }
+
+  // A batch's bytes are identical to the same records appended one at a
+  // time — record boundaries inside the batch are preserved.
+  EXPECT_EQ(ReadAll(dir.File("never.log")), [&] {
+    const std::string path = dir.File("singles.log");
+    auto w = storage::WalWriter::Open(path, storage::WalSyncPolicy::kNever);
+    EXPECT_TRUE(w.ok());
+    EXPECT_TRUE(w->Append(recs[0]).ok());
+    for (const auto& r : recs) EXPECT_TRUE(w->Append(r).ok());
+    return ReadAll(path);
+  }());
+}
+
+// A torn tail *inside* an AppendBatch truncates to the last whole
+// record of the batch — a surviving batch prefix is safe because
+// nothing was acknowledged before the full batch synced.
+TEST(Wal, TornBatchTailTruncatesToLastWholeRecord) {
+  TempDir dir;
+  const std::string path = dir.File("wal.log");
+  const auto recs = SampleRecords();
+  {
+    auto w = storage::WalWriter::Open(path, storage::WalSyncPolicy::kNever);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->AppendBatch(recs).ok());
+  }
+  // Chop the file mid-way into the batch's fourth record: the third
+  // record's end is the last whole-record boundary.
+  size_t third_end = storage::kWalFileHeaderBytes;
+  for (int i = 0; i < 3; ++i) {
+    third_end += storage::EncodeWalRecord(recs[i]).size();
+  }
+  auto bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), third_end + 4);
+  bytes.resize(third_end + 4);  // a dangling length prefix, no payload
+  WriteAll(path, bytes);
+
+  auto contents = storage::ReadWal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents->tail_status.ok());
+  EXPECT_EQ(contents->valid_bytes, third_end);
+  ExpectRecordsEq(contents->records, recs, 3);
+
+  // A recovering writer resumes at the boundary and a fresh batch lands
+  // cleanly after the surviving prefix.
+  auto w = storage::WalWriter::Open(path, storage::WalSyncPolicy::kGroupCommit,
+                                    static_cast<int64_t>(contents->valid_bytes));
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  ASSERT_TRUE(w->AppendBatch(recs).ok());
+  auto again = storage::ReadWal(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->tail_status.ok());
+  EXPECT_EQ(again->records.size(), 3 + recs.size());
+}
+
 // ---- Bundle round trip ------------------------------------------------------
 
 // Decision-level equality over every (requester, resource) pair: the
@@ -547,6 +656,96 @@ TEST(Recovery, KillAndReopenReplaysAckedRecords) {
   auto wal = storage::ReadWal(dir.File(storage::kWalFileName));
   ASSERT_TRUE(wal.ok()) << wal.status().ToString();
   ASSERT_GE(wal->records.size(), got) << "an acked (fsynced) record is gone";
+
+  SocialGraph mirror_graph = MakeDiamond();
+  AccessControlEngine mirror(mirror_graph, store);
+  ASSERT_TRUE(mirror.RebuildIndexes().ok());
+  for (const auto& rec : wal->records) {
+    ASSERT_TRUE(mirror.AddEdge(rec.src, rec.dst, rec.label).ok());
+  }
+
+  SocialGraph g2;
+  auto reopened = AccessControlEngine::OpenFromDir(dir.path(), &g2, store);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectDecisionEquivalence(mirror, **reopened, mirror_graph.NumNodes(),
+                            store.NumResources());
+}
+
+// The group-commit variant of the harness above: the child appends
+// whole batches (AppendBatch under kGroupCommit — one fsync per batch)
+// and acks per *batch*. SIGKILL can land mid-batch-write, leaving a
+// torn batch tail; reopen must keep every acked batch intact and
+// truncate the tail to the last whole record. A surviving prefix of the
+// unacked batch is fine — nothing in it was acknowledged.
+TEST(Recovery, KillAndReopenKeepsAckedGroupCommitBatches) {
+  TempDir dir;
+  SocialGraph g = MakeDiamond();
+  PolicyStore store;
+  const ResourceId photo = store.RegisterResource(0, "photo");
+  ASSERT_TRUE(store.AddRuleFromPaths(photo, {"friend[1,3]"}).ok());
+
+  storage::SnapshotStamp saved_stamp;
+  {
+    AccessControlEngine engine(g, store);
+    ASSERT_TRUE(engine.RebuildIndexes().ok());
+    ASSERT_TRUE(engine.EnableDurability(dir.path()).ok());
+    saved_stamp = {engine.snapshot_generation(), engine.overlay_version()};
+  }
+
+  constexpr uint32_t kBatchSize = 4;
+  int pipefd[2];
+  ASSERT_EQ(pipe(pipefd), 0);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    close(pipefd[0]);
+    auto w = storage::WalWriter::Open(dir.File(storage::kWalFileName),
+                                      storage::WalSyncPolicy::kGroupCommit);
+    if (!w.ok()) _exit(1);
+    for (uint32_t b = 0;; ++b) {
+      std::vector<WalRecord> batch;
+      for (uint32_t j = 0; j < kBatchSize; ++j) {
+        const uint32_t i = b * kBatchSize + j;
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::kAddEdge;
+        rec.generation = saved_stamp.generation;
+        rec.overlay_version = saved_stamp.overlay_version + 1 + i;
+        rec.src = i % 6;
+        rec.dst = (i + 2) % 6;
+        rec.label = "friend";
+        batch.push_back(rec);
+      }
+      if (!w->AppendBatch(batch).ok()) _exit(2);
+      const char ack = 1;  // the whole batch is fsynced: ack it
+      if (write(pipefd[1], &ack, 1) != 1) _exit(3);
+    }
+  }
+  close(pipefd[1]);
+  char acks[6];
+  size_t acked_batches = 0;
+  while (acked_batches < sizeof(acks)) {
+    const ssize_t n =
+        read(pipefd[0], acks + acked_batches, sizeof(acks) - acked_batches);
+    ASSERT_GT(n, 0);
+    acked_batches += static_cast<size_t>(n);
+  }
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  close(pipefd[0]);
+
+  // Every record of every acked batch survives; whatever follows is a
+  // clean prefix of the next batch (possibly with a detected torn tail,
+  // which a reopen truncates at valid_bytes — never mid-record).
+  auto wal = storage::ReadWal(dir.File(storage::kWalFileName));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_GE(wal->records.size(), acked_batches * kBatchSize)
+      << "a record from an acked (group-committed) batch is gone";
+  for (size_t i = 0; i < wal->records.size(); ++i) {
+    EXPECT_EQ(wal->records[i].overlay_version,
+              saved_stamp.overlay_version + 1 + i)
+        << "surviving records are not a clean prefix";
+  }
 
   SocialGraph mirror_graph = MakeDiamond();
   AccessControlEngine mirror(mirror_graph, store);
